@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation of the design choices DESIGN.md calls out, beyond the
+ * paper's own figures: execution-time improvement with each mechanism
+ * disabled in isolation —
+ *
+ *   full        : the complete approach
+ *   -reuse      : variable2node map off (reuse-agnostic windows; the
+ *                 paper reports this costs ~11% of the benefit)
+ *   -balance    : load-balancing veto off
+ *   -syncmin    : transitive synchronisation minimisation off
+ *   -selection  : profile-guided plan selection off (raw partitioner)
+ *   window=1    : single-statement optimization only (no windows)
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("ablation_design_choices", "DESIGN.md ablations");
+
+    driver::ExperimentConfig full;
+
+    driver::ExperimentConfig no_reuse = full;
+    no_reuse.partition.exploitReuse = false;
+
+    driver::ExperimentConfig no_balance = full;
+    no_balance.partition.loadBalance = false;
+
+    driver::ExperimentConfig no_syncmin = full;
+    no_syncmin.partition.minimizeSyncs = false;
+
+    driver::ExperimentConfig no_selection = full;
+    no_selection.planSelection = false;
+
+    driver::ExperimentConfig window1 = full;
+    window1.partition.fixedWindowSize = 1;
+
+    struct Variant
+    {
+        const char *name;
+        driver::ExperimentRunner runner;
+    };
+    Variant variants[] = {
+        {"full", driver::ExperimentRunner(full)},
+        {"-reuse", driver::ExperimentRunner(no_reuse)},
+        {"-balance", driver::ExperimentRunner(no_balance)},
+        {"-syncmin", driver::ExperimentRunner(no_syncmin)},
+        {"-selection", driver::ExperimentRunner(no_selection)},
+        {"window=1", driver::ExperimentRunner(window1)},
+    };
+
+    std::vector<std::string> headers = {"app"};
+    for (const Variant &v : variants)
+        headers.push_back(v.name);
+    Table table(headers);
+
+    std::vector<std::vector<double>> columns(std::size(variants));
+    bench::forEachApp([&](const workloads::Workload &w) {
+        table.row().cell(w.name);
+        for (std::size_t v = 0; v < std::size(variants); ++v) {
+            const double pct =
+                variants[v].runner.runApp(w).execTimeReductionPct();
+            columns[v].push_back(pct);
+            table.cell(pct);
+        }
+    });
+    table.row().cell("geomean");
+    for (const auto &col : columns)
+        table.cell(driver::geomeanPct(col));
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Topology ablation: Section 2 claims the approach "can work with any
+ * type of on-chip network topology". This harness runs the full
+ * pipeline on the plain 2D mesh and on a 2D torus (wrap-around links):
+ * the torus shortens worst-case distances, so the default gets faster
+ * and the absolute movement drops — but the partitioner's relative
+ * improvement should survive, which is the claim under test.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("ablation_topology", "Section 2 topology template");
+
+    driver::ExperimentConfig mesh_cfg;
+    driver::ExperimentRunner mesh(mesh_cfg);
+
+    driver::ExperimentConfig torus_cfg;
+    torus_cfg.machine.torus = true;
+    driver::ExperimentRunner torus(torus_cfg);
+
+    Table table({"app", "mesh improvement%", "torus improvement%",
+                 "torus default speedup%"});
+    std::vector<double> v_mesh, v_torus;
+    bench::forEachApp([&](const workloads::Workload &w) {
+        const auto m = mesh.runApp(w);
+        const auto t = torus.runApp(w);
+        v_mesh.push_back(m.execTimeReductionPct());
+        v_torus.push_back(t.execTimeReductionPct());
+        table.row()
+            .cell(w.name)
+            .cell(v_mesh.back())
+            .cell(v_torus.back())
+            .cell(percentReduction(
+                static_cast<double>(m.defaultMakespan),
+                static_cast<double>(t.defaultMakespan)));
+    });
+    table.row()
+        .cell("geomean")
+        .cell(driver::geomeanPct(v_mesh))
+        .cell(driver::geomeanPct(v_torus))
+        .cell("");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+#ifndef NDP_BENCH_BENCH_COMMON_H
+#define NDP_BENCH_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction harnesses: a
+ * common workload scale (overridable via NDP_BENCH_SCALE), per-app
+ * iteration, and uniform headers so outputs are diffable.
+ */
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "support/table.h"
+#include "workloads/workload.h"
+
+namespace ndp::bench {
+
+/** Problem scale: NDP_BENCH_SCALE env var or a fast default. */
+inline std::int64_t
+benchScale()
+{
+    if (const char *env = std::getenv("NDP_BENCH_SCALE")) {
+        const long long v = std::atoll(env);
+        if (v >= 256)
+            return v;
+    }
+    return 2048;
+}
+
+/** Run @p fn on each of the paper's 12 applications. */
+inline void
+forEachApp(const std::function<void(const workloads::Workload &)> &fn)
+{
+    workloads::WorkloadFactory factory(benchScale());
+    for (const std::string &name :
+         workloads::WorkloadFactory::appNames()) {
+        fn(factory.build(name));
+    }
+}
+
+/** Print the standard harness banner. */
+inline void
+banner(const std::string &experiment, const std::string &paper_ref)
+{
+    std::cout << "== " << experiment << " — reproduces " << paper_ref
+              << " ==\n"
+              << "(scale " << benchScale()
+              << "; set NDP_BENCH_SCALE to change)\n\n";
+}
+
+} // namespace ndp::bench
+
+#endif // NDP_BENCH_BENCH_COMMON_H

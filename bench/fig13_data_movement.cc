@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 13: per-statement reduction in data movement (Equation 1)
+ * over the locality-optimized default placement — average and maximum
+ * across all statement instances. Paper: 35.3% geometric-mean average
+ * reduction; Barnes/Ocean/MiniMD high, Cholesky/LU low.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig13_data_movement", "Figure 13");
+
+    driver::ExperimentRunner runner;
+    Table table({"app", "avg reduction%", "max reduction%"});
+    std::vector<double> averages;
+    bench::forEachApp([&](const workloads::Workload &w) {
+        const auto result = runner.runApp(w);
+        averages.push_back(result.movementReductionPct.mean());
+        table.row()
+            .cell(w.name)
+            .cell(result.movementReductionPct.mean())
+            .cell(result.movementReductionPct.max());
+    });
+    table.row().cell("geomean").cell(driver::geomeanPct(averages)).cell(
+        "");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 14: degree of subcomputation parallelism — the average and
+ * maximum number of subcomputations of one statement instance that can
+ * execute in parallel. Paper: ~3 on average, larger for Ocean/Barnes
+ * (their longer statements split into more parallel subcomputations).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig14_parallelism", "Figure 14");
+
+    driver::ExperimentRunner runner;
+    Table table({"app", "avg DoP", "max DoP"});
+    bench::forEachApp([&](const workloads::Workload &w) {
+        const auto result = runner.runApp(w);
+        table.row()
+            .cell(w.name)
+            .cell(result.degreeOfParallelism.mean())
+            .cell(result.degreeOfParallelism.max());
+    });
+    table.print(std::cout);
+    return 0;
+}

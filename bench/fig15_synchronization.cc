@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 15: point-to-point synchronisations per statement introduced
+ * by subcomputation scheduling, after the transitive-closure
+ * minimisation (the raw pre-minimisation count is shown alongside).
+ * The paper notes higher subcomputation parallelism generally implies
+ * more synchronisations.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig15_synchronization", "Figure 15");
+
+    driver::ExperimentRunner runner;
+    Table table({"app", "syncs/stmt", "raw syncs/stmt", "avg DoP"});
+    bench::forEachApp([&](const workloads::Workload &w) {
+        const auto result = runner.runApp(w);
+        table.row()
+            .cell(w.name)
+            .cell(result.syncsPerStatement.mean())
+            .cell(result.rawSyncsPerStatement.mean())
+            .cell(result.degreeOfParallelism.mean());
+    });
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 16: improvement in L1 hit rate over the default placement,
+ * from scheduling reuse-sharing subcomputations onto the nodes that
+ * already hold the data (Section 4.3's multi-statement windows).
+ * Paper: 11.6% average improvement.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig16_l1_hit_rate", "Figure 16");
+
+    driver::ExperimentRunner runner;
+    Table table({"app", "default L1", "optimized L1", "improvement%"});
+    std::vector<double> improvements;
+    bench::forEachApp([&](const workloads::Workload &w) {
+        const auto result = runner.runApp(w);
+        improvements.push_back(result.l1HitRateImprovementPct());
+        table.row()
+            .cell(w.name)
+            .cell(result.defaultL1HitRate, 3)
+            .cell(result.optimizedL1HitRate, 3)
+            .cell(improvements.back());
+    });
+    table.row().cell("mean").cell("").cell("").cell(
+        arithmeticMean(improvements));
+    table.print(std::cout);
+    return 0;
+}

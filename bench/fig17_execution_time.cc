@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 17: percentage reduction in execution time over the default
+ * (profile-guided, locality-optimized) placement, for (1) our
+ * compiler approach, (2) the ideal-network scenario (all messages take
+ * 0 cycles), and (3) ideal data analysis (perfect locations and
+ * disambiguation). Paper geomeans: 18.4% / 24.4% / 22.3%.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig17_execution_time", "Figure 17");
+
+    driver::ExperimentRunner ours;
+
+    driver::ExperimentConfig ideal_net_cfg;
+    ideal_net_cfg.optimizeComputation = false;
+    ideal_net_cfg.idealNetwork = true;
+    driver::ExperimentRunner ideal_net(ideal_net_cfg);
+
+    driver::ExperimentConfig oracle_cfg;
+    oracle_cfg.partition.oracle = true;
+    driver::ExperimentRunner ideal_data(oracle_cfg);
+
+    Table table({"app", "ours%", "ideal-network%", "ideal-data%"});
+    std::vector<double> v_ours, v_net, v_data;
+    bench::forEachApp([&](const workloads::Workload &w) {
+        const auto a = ours.runApp(w);
+        const auto b = ideal_net.runApp(w);
+        const auto c = ideal_data.runApp(w);
+        v_ours.push_back(a.execTimeReductionPct());
+        v_net.push_back(b.execTimeReductionPct());
+        v_data.push_back(c.execTimeReductionPct());
+        table.row()
+            .cell(w.name)
+            .cell(v_ours.back())
+            .cell(v_net.back())
+            .cell(v_data.back());
+    });
+    table.row()
+        .cell("geomean")
+        .cell(driver::geomeanPct(v_ours))
+        .cell(driver::geomeanPct(v_net))
+        .cell(driver::geomeanPct(v_data));
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 19: reduction in average and maximum on-chip network message
+ * latency (the maximum being the congestion proxy) brought by the
+ * optimized schedule. The paper reports reductions for every
+ * application — i.e. the approach adds no network bottleneck.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig19_network_latency", "Figure 19");
+
+    driver::ExperimentRunner runner;
+    Table table({"app", "avg latency reduction%",
+                 "max latency reduction%"});
+    bench::forEachApp([&](const workloads::Workload &w) {
+        const auto result = runner.runApp(w);
+        table.row()
+            .cell(w.name)
+            .cell(result.avgNetLatencyReductionPct())
+            .cell(result.maxNetLatencyReductionPct());
+    });
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 20: execution-time improvement when a single fixed statement-
+ * window size (1..8) is forced for every nest, versus the adaptive
+ * per-nest choice. Expected shape: improvement first rises with the
+ * window (more L1 reuse captured), then falls (L1 pollution), and the
+ * adaptive column beats every fixed size.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig20_window_size", "Figure 20");
+
+    std::vector<std::string> headers = {"app"};
+    for (int w = 1; w <= 8; ++w)
+        headers.push_back("w=" + std::to_string(w));
+    headers.push_back("adaptive");
+    Table table(headers);
+
+    std::vector<driver::ExperimentRunner> fixed;
+    for (int w = 1; w <= 8; ++w) {
+        driver::ExperimentConfig cfg;
+        cfg.partition.fixedWindowSize = w;
+        fixed.emplace_back(cfg);
+    }
+    driver::ExperimentRunner adaptive;
+
+    bench::forEachApp([&](const workloads::Workload &w) {
+        table.row().cell(w.name);
+        for (auto &runner : fixed)
+            table.cell(runner.runApp(w).execTimeReductionPct());
+        table.cell(adaptive.runApp(w).execTimeReductionPct());
+    });
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 21: the L1 hit-rate improvement behind Figure 20's execution
+ * times, for each fixed window size. The paper observes the execution
+ * time results follow the L1 hit-rate trend.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig21_window_l1", "Figure 21");
+
+    std::vector<std::string> headers = {"app"};
+    for (int w = 1; w <= 8; ++w)
+        headers.push_back("w=" + std::to_string(w));
+    Table table(headers);
+
+    std::vector<driver::ExperimentRunner> fixed;
+    for (int w = 1; w <= 8; ++w) {
+        driver::ExperimentConfig cfg;
+        cfg.partition.fixedWindowSize = w;
+        fixed.emplace_back(cfg);
+    }
+
+    bench::forEachApp([&](const workloads::Workload &w) {
+        table.row().cell(w.name);
+        for (auto &runner : fixed)
+            table.cell(runner.runApp(w).l1HitRateImprovementPct());
+    });
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 22: normalized execution time across the KNL-style
+ * configuration grid — cluster mode (A: all-to-all, B: quadrant, C:
+ * SNC-4) x memory mode (X: flat, Y: cache, Z: hybrid) x code version
+ * (1: original, 2: optimized). All values are normalized against the
+ * default configuration (B,X,1); lower is better.
+ *
+ * Paper observations to check: the optimized code wins in every
+ * configuration; the cluster-mode differences shrink under our
+ * approach; flat beats cache mode; (C,X,2) is the best configuration;
+ * and (A,X,2) outperforms (C,X,1).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig22_knl_configs", "Figure 22");
+
+    struct Cluster
+    {
+        char tag;
+        mem::ClusterMode mode;
+    };
+    struct Memory
+    {
+        char tag;
+        mem::MemoryMode mode;
+    };
+    const Cluster clusters[] = {
+        {'A', mem::ClusterMode::AllToAll},
+        {'B', mem::ClusterMode::Quadrant},
+        {'C', mem::ClusterMode::SNC4},
+    };
+    const Memory memories[] = {
+        {'X', mem::MemoryMode::Flat},
+        {'Y', mem::MemoryMode::Cache},
+        {'Z', mem::MemoryMode::Hybrid},
+    };
+
+    std::vector<std::string> headers = {"app"};
+    for (const Cluster &c : clusters) {
+        for (const Memory &m : memories) {
+            for (int v = 1; v <= 2; ++v) {
+                headers.push_back(std::string(1, c.tag) + "," +
+                                  std::string(1, m.tag) + "," +
+                                  std::to_string(v));
+            }
+        }
+    }
+    Table table(headers);
+
+    std::vector<double> norm_sum(headers.size() - 1, 0.0);
+    int app_count = 0;
+
+    bench::forEachApp([&](const workloads::Workload &w) {
+        // Reference: (B,X,1) — quadrant, flat, original code.
+        driver::ExperimentConfig ref_cfg;
+        ref_cfg.machine.clusterMode = mem::ClusterMode::Quadrant;
+        ref_cfg.machine.memoryMode = mem::MemoryMode::Flat;
+        driver::ExperimentRunner ref_runner(ref_cfg);
+        const auto ref = ref_runner.runApp(w);
+        const double base =
+            static_cast<double>(ref.defaultMakespan);
+
+        table.row().cell(w.name);
+        std::size_t col = 0;
+        for (const Cluster &c : clusters) {
+            for (const Memory &m : memories) {
+                driver::ExperimentConfig cfg;
+                cfg.machine.clusterMode = c.mode;
+                cfg.machine.memoryMode = m.mode;
+                driver::ExperimentRunner runner(cfg);
+                const auto result = runner.runApp(w);
+                const double orig =
+                    static_cast<double>(result.defaultMakespan) / base;
+                const double opt =
+                    static_cast<double>(result.optimizedMakespan) /
+                    base;
+                table.cell(orig, 3).cell(opt, 3);
+                norm_sum[col++] += orig;
+                norm_sum[col++] += opt;
+            }
+        }
+        ++app_count;
+    });
+
+    table.row().cell("mean");
+    for (double sum : norm_sum)
+        table.cell(sum / std::max(1, app_count), 3);
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 23: our computation mapping versus the profile-based
+ * data-to-MC page mapping (each page re-homed to the MC preferred by
+ * most of its accessing cores), and the combination of both. Paper
+ * geomeans: 18.4% / 7.9% / 21.4% — data mapping alone is weaker
+ * (mid-mesh pages have no clearly preferable controller), and the
+ * combination is best.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig23_data_mapping", "Figure 23");
+
+    driver::ExperimentRunner ours;
+
+    driver::ExperimentConfig map_cfg;
+    map_cfg.optimizeComputation = false;
+    map_cfg.dataToMcRemap = true;
+    map_cfg.planSelection = false;
+    driver::ExperimentRunner mapping(map_cfg);
+
+    driver::ExperimentConfig combined_cfg;
+    combined_cfg.dataToMcRemap = true;
+    driver::ExperimentRunner combined(combined_cfg);
+
+    Table table({"app", "ours%", "data-mapping%", "combined%"});
+    std::vector<double> v1, v2, v3;
+    bench::forEachApp([&](const workloads::Workload &w) {
+        v1.push_back(ours.runApp(w).execTimeReductionPct());
+        v2.push_back(mapping.runApp(w).execTimeReductionPct());
+        v3.push_back(combined.runApp(w).execTimeReductionPct());
+        table.row().cell(w.name).cell(v1.back()).cell(v2.back()).cell(
+            v3.back());
+    });
+    table.row()
+        .cell("geomean")
+        .cell(driver::geomeanPct(v1))
+        .cell(driver::geomeanPct(v2))
+        .cell(driver::geomeanPct(v3));
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 24: reduction in energy versus the default computation
+ * placement (CACTI/McPAT-style event energy model), for our approach
+ * and the two ideal schemes of Section 6.4. Paper: 23.1% average
+ * saving for the full approach.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("fig24_energy", "Figure 24");
+
+    driver::ExperimentRunner ours;
+
+    driver::ExperimentConfig ideal_net_cfg;
+    ideal_net_cfg.optimizeComputation = false;
+    ideal_net_cfg.idealNetwork = true;
+    driver::ExperimentRunner ideal_net(ideal_net_cfg);
+
+    driver::ExperimentConfig oracle_cfg;
+    oracle_cfg.partition.oracle = true;
+    driver::ExperimentRunner ideal_data(oracle_cfg);
+
+    Table table({"app", "ours%", "ideal-network%", "ideal-data%"});
+    std::vector<double> v1;
+    bench::forEachApp([&](const workloads::Workload &w) {
+        const auto a = ours.runApp(w);
+        const auto b = ideal_net.runApp(w);
+        const auto c = ideal_data.runApp(w);
+        v1.push_back(a.energyReductionPct());
+        table.row()
+            .cell(w.name)
+            .cell(a.energyReductionPct())
+            .cell(b.energyReductionPct())
+            .cell(c.energyReductionPct());
+    });
+    table.row().cell("mean").cell(arithmeticMean(v1)).cell("").cell("");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the compile-time cost of the
+ * partitioner's building blocks: Kruskal MST splitting, nested-set
+ * construction, dependence analysis, and the full window sweep. These
+ * quantify the "compilation complexity increases with the window"
+ * trade-off of Section 4.4.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/default_placement.h"
+#include "ir/nested_sets.h"
+#include "ir/parser.h"
+#include "partition/partitioner.h"
+#include "partition/splitter.h"
+#include "sim/manycore.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace ndp;
+
+/** Split one synthetic statement with @p operands leaves. */
+void
+BM_StatementSplit(benchmark::State &state)
+{
+    const auto operands = static_cast<int>(state.range(0));
+    noc::MeshTopology mesh(6, 6);
+    partition::StatementSplitter splitter(mesh);
+
+    ir::ArrayTable arrays;
+    std::string src = "array OUT[64];\n";
+    std::string rhs;
+    for (int i = 0; i < operands; ++i) {
+        src += "array V" + std::to_string(i) + "[64];\n";
+        if (i > 0)
+            rhs += " + ";
+        rhs += "V" + std::to_string(i) + "[i]";
+    }
+    src += "for i = 0..64 { OUT[i] = " + rhs + "; }";
+    ir::LoopNest nest = ir::parseKernel(src, "micro", arrays);
+    const ir::VarSet sets = ir::buildVarSets(nest.body().front());
+
+    Rng rng(7);
+    std::vector<partition::Location> locations(
+        static_cast<std::size_t>(operands));
+    for (auto &loc : locations) {
+        loc.node = static_cast<noc::NodeId>(rng.nextBelow(36));
+        loc.source = partition::LocationSource::L2Home;
+    }
+
+    for (auto _ : state) {
+        auto result = splitter.split(sets, locations, /*store=*/17);
+        benchmark::DoNotOptimize(result.plannedMovement);
+    }
+}
+BENCHMARK(BM_StatementSplit)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_NestedSets(benchmark::State &state)
+{
+    ir::ArrayTable arrays;
+    ir::LoopNest nest = ir::parseKernel(R"(
+        array a[64]; array b[64]; array c[64]; array d[64];
+        array e[64]; array f[64]; array g[64]; array x[64];
+        for i = 0..64 {
+          x[i] = a[i] * (b[i] + c[i]) + d[i] * (e[i] + f[i] + g[i]);
+        })",
+                                        "micro", arrays);
+    for (auto _ : state) {
+        ir::VarSet sets = ir::buildVarSets(nest.body().front());
+        benchmark::DoNotOptimize(sets.leafCount());
+    }
+}
+BENCHMARK(BM_NestedSets);
+
+void
+BM_DependenceAnalysis(benchmark::State &state)
+{
+    const auto window = static_cast<std::size_t>(state.range(0));
+    ir::ArrayTable arrays;
+    ir::LoopNest nest = ir::parseKernel(R"(
+        array A[1024]; array B[1024]; array C[1024];
+        for i = 0..1024 {
+          S1: A[i] = B[i] + C[i];
+          S2: C[i] = A[i] * B[i];
+        })",
+                                        "micro", arrays);
+    std::vector<ir::StatementInstance> instances;
+    for (std::int64_t k = 0; instances.size() < window; ++k) {
+        for (const ir::Statement &stmt : nest.body()) {
+            if (instances.size() >= window)
+                break;
+            ir::StatementInstance inst;
+            inst.stmt = &stmt;
+            inst.iter = {k};
+            inst.iterationNumber = k;
+            instances.push_back(inst);
+        }
+    }
+    for (auto _ : state) {
+        auto deps = ir::analyzeDependences(instances, arrays, true);
+        benchmark::DoNotOptimize(deps.size());
+    }
+}
+BENCHMARK(BM_DependenceAnalysis)->Arg(2)->Arg(4)->Arg(8);
+
+/** Full planning pass (window sweep included) for a small nest. */
+void
+BM_FullPartition(benchmark::State &state)
+{
+    const auto max_window = static_cast<std::int32_t>(state.range(0));
+    sim::ManycoreConfig config;
+    sim::ManycoreSystem system(config);
+
+    ir::ArrayTable arrays;
+    ir::LoopNest nest = ir::parseKernel(R"(
+        array A[512]; array B[512]; array C[512]; array D[512];
+        array E[512];
+        for i = 0..512 {
+          S1: A[i] = B[i] + C[i] + D[i] + E[i];
+          S2: D[i] = C[i] * E[i];
+        })",
+                                        "micro", arrays);
+    baseline::DefaultPlacement placement(system, arrays);
+    const auto nodes = placement.assignIterations(nest);
+
+    for (auto _ : state) {
+        partition::PartitionOptions options;
+        options.maxWindowSize = max_window;
+        partition::Partitioner partitioner(system, arrays, options);
+        auto plan = partitioner.plan(nest, nodes);
+        benchmark::DoNotOptimize(plan.tasks.size());
+    }
+}
+BENCHMARK(BM_FullPartition)->Arg(1)->Arg(4)->Arg(8);
+
+} // namespace
+
+BENCHMARK_MAIN();

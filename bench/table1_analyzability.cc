@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table 1: the fraction of program data references whose on-chip
+ * location is compile-time analyzable (affine subscripts), per
+ * application. Paper range: 68.3% (Barnes) to 97.2% (Cholesky).
+ */
+
+#include "bench_common.h"
+
+#include "ir/dependence.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("table1_analyzability", "Table 1");
+
+    Table table({"app", "analyzable%"});
+    bench::forEachApp([&](const workloads::Workload &w) {
+        double weighted = 0.0;
+        std::int64_t weight = 0;
+        for (const ir::LoopNest &nest : w.nests) {
+            const std::int64_t instances =
+                nest.iterationCount() *
+                static_cast<std::int64_t>(nest.body().size());
+            weighted += ir::analyzableFraction(nest) *
+                        static_cast<double>(instances);
+            weight += instances;
+        }
+        table.row().cell(w.name).cell(
+            100.0 * weighted / static_cast<double>(weight), 1);
+    });
+    table.print(std::cout);
+    return 0;
+}

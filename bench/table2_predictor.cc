@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table 2: measured accuracy of the L2 cache hit/miss predictor, per
+ * application. The predictor trains online during the (profiling)
+ * default run and during the optimized run, exactly the accesses the
+ * compiler's location queries concern. Paper range: 63.1%-91.8%.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("table2_predictor", "Table 2");
+
+    driver::ExperimentRunner runner;
+    Table table({"app", "predictor accuracy%"});
+    bench::forEachApp([&](const workloads::Workload &w) {
+        const auto result = runner.runApp(w);
+        table.row().cell(w.name).cell(100.0 * result.predictorAccuracy,
+                                      1);
+    });
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table 3: the mix of computation types re-mapped (offloaded to
+ * subcomputations on other nodes) by the compiler, per application:
+ * add/sub vs mul/div vs others (shift, logical, min/max).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace ndp;
+    bench::banner("table3_op_mix", "Table 3");
+
+    driver::ExperimentRunner runner;
+    Table table({"app", "add/sub%", "mul/div%", "others%"});
+    bench::forEachApp([&](const workloads::Workload &w) {
+        const auto result = runner.runApp(w);
+        const double total = static_cast<double>(
+            result.offloadedOps[0] + result.offloadedOps[1] +
+            result.offloadedOps[2]);
+        auto pct = [&](int c) {
+            return total == 0.0 ? 0.0
+                                : 100.0 *
+                                      static_cast<double>(
+                                          result.offloadedOps[c]) /
+                                      total;
+        };
+        table.row().cell(w.name).cell(pct(0), 1).cell(pct(1), 1).cell(
+            pct(2), 1);
+    });
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Irregular molecular-dynamics force kernel (MiniMD-style): forces are
+ * accumulated through *indirect* neighbor-list accesses X[NL[i]],
+ * which the compiler cannot disambiguate statically (a may-dependence,
+ * Section 4.5). This example demonstrates the inspector/executor
+ * path:
+ *
+ *  1. Without an inspector, the indirect statement cannot be split —
+ *     the plan degenerates to the default placement.
+ *  2. With the inspector enabled (the first trips of the outer timing
+ *     loop record the realised indices), the same statement splits
+ *     into subcomputations near the neighbor data.
+ *
+ * Run: ./irregular_minimd [atoms]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/default_placement.h"
+#include "ir/parser.h"
+#include "partition/partitioner.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace {
+
+/** Hub-biased neighbor list, like a real MD cell structure. */
+std::vector<std::int64_t>
+neighbors(std::int64_t n, ndp::Rng &rng)
+{
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t v = rng.nextBool(0.3)
+                             ? rng.nextInRange(0, n / 32)
+                             : i + rng.nextInRange(-24, 24);
+        v %= n;
+        if (v < 0)
+            v += n;
+        idx[static_cast<std::size_t>(i)] = v;
+    }
+    return idx;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ndp;
+
+    const std::int64_t atoms = argc > 1 ? std::atoll(argv[1]) : 2048;
+
+    ir::ArrayTable arrays;
+    arrays.setDefaultElementSize(64); // one particle record per line
+    ir::LoopNest nest = ir::parseKernel(R"(
+        array X[N]; array F[N]; array W1[N]; array W2[N]; array W3[N];
+        array NL1[N]; array NL2[N]; array NL3[N];
+        for i = 0..N {
+          S1: F[i] = F[i] + (X[NL1[i]] - X[i]) * W1[i]
+                     + (X[NL2[i]] - X[i]) * W2[i]
+                     + (X[NL3[i]] - X[i]) * W3[i];
+        })",
+                                        "minimd-force", arrays,
+                                        {{"N", atoms}});
+
+    Rng rng(2026);
+    arrays.setIndexData(arrays.find("NL1"), neighbors(atoms, rng));
+    arrays.setIndexData(arrays.find("NL2"), neighbors(atoms, rng));
+    arrays.setIndexData(arrays.find("NL3"), neighbors(atoms, rng));
+
+    std::cout << "Force kernel over " << atoms
+              << " atoms, 3 indirect neighbor loads per statement\n"
+              << "statically analyzable references: "
+              << 100.0 * ir::analyzableFraction(nest) << "%\n\n";
+
+    sim::ManycoreSystem system({});
+    sim::ExecutionEngine engine(system);
+    baseline::DefaultPlacement placement(system, arrays);
+    const auto nodes = placement.assignIterations(nest);
+    const sim::SimResult def =
+        engine.run(placement.buildPlan(nest, nodes));
+
+    Table table({"configuration", "statements split",
+                 "exec cycles", "movement (flit-hops)",
+                 "improvement%"});
+
+    // ---- 1. No inspector: may-dependences block the transform. ----
+    nest.timingTrips = 1;
+    nest.inspectorTrips = 0;
+    {
+        partition::Partitioner partitioner(system, arrays);
+        const auto plan = partitioner.plan(nest, nodes);
+        const sim::SimResult r = engine.run(plan);
+        table.row()
+            .cell("compile-time only (no inspector)")
+            .cell(partitioner.report().statementsSplit)
+            .cell(r.makespanCycles)
+            .cell(r.dataMovementFlitHops)
+            .cell(percentReduction(
+                static_cast<double>(def.makespanCycles),
+                static_cast<double>(r.makespanCycles)));
+    }
+
+    // ---- 2. Inspector/executor: the first timing-loop trips record
+    // the realised neighbor indices; the executor trips are split.
+    nest.timingTrips = 8;
+    nest.inspectorTrips = 1;
+    {
+        partition::Partitioner partitioner(system, arrays);
+        const auto plan = partitioner.plan(nest, nodes);
+        const sim::SimResult r = engine.run(plan);
+        table.row()
+            .cell("inspector/executor")
+            .cell(partitioner.report().statementsSplit)
+            .cell(r.makespanCycles)
+            .cell(r.dataMovementFlitHops)
+            .cell(percentReduction(
+                static_cast<double>(def.makespanCycles),
+                static_cast<double>(r.makespanCycles)));
+    }
+
+    // ---- 3. Oracle disambiguation (upper bound, Section 6.4). ----
+    {
+        nest.inspectorTrips = 0;
+        partition::PartitionOptions options;
+        options.oracle = true;
+        partition::Partitioner partitioner(system, arrays, options);
+        const auto plan = partitioner.plan(nest, nodes);
+        const sim::SimResult r = engine.run(plan);
+        table.row()
+            .cell("ideal data analysis (oracle)")
+            .cell(partitioner.report().statementsSplit)
+            .cell(r.makespanCycles)
+            .cell(r.dataMovementFlitHops)
+            .cell(percentReduction(
+                static_cast<double>(def.makespanCycles),
+                static_cast<double>(r.makespanCycles)));
+    }
+
+    std::cout << "default execution: " << def.makespanCycles
+              << " cycles, " << def.dataMovementFlitHops
+              << " flit-hops\n\n";
+    table.print(std::cout);
+    std::cout << "\nThe inspector unlocks subcomputation scheduling for "
+                 "the irregular statement;\nthe oracle shows how much "
+                 "headroom perfect disambiguation would add.\n";
+    return 0;
+}

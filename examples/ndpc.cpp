@@ -1,0 +1,214 @@
+/**
+ * @file
+ * ndpc — a miniature "NDP compiler" driver over the library's public
+ * API. Reads a kernel in the textual IR from a file (or stdin), runs
+ * the whole pipeline, and reports:
+ *
+ *   - the parsed nest and its static analyzability,
+ *   - the nested variable sets of each statement (Section 4.2),
+ *   - the adaptive window choice and planning statistics,
+ *   - Figure-8-style generated pseudo-code for the first iterations,
+ *   - the simulated default-vs-optimized comparison.
+ *
+ * Usage:
+ *   ndpc [kernel-file] [--param NAME=VALUE]... [--mesh CxR]
+ *        [--window W] [--iterations-shown K]
+ *
+ * With no file, a built-in demo kernel is compiled.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "baseline/default_placement.h"
+#include "ir/dependence.h"
+#include "ir/nested_sets.h"
+#include "ir/parser.h"
+#include "partition/codegen.h"
+#include "partition/partitioner.h"
+#include "sim/engine.h"
+#include "support/error.h"
+#include "support/table.h"
+
+namespace {
+
+const char *kDemoKernel = R"(
+array A[N]; array B[N]; array C[N]; array D[N]; array E[N];
+array X[N]; array Y[N];
+for i = 0..N {
+  S1: A[i] = B[i] + C[i] + D[i] + E[i];
+  S2: X[i] = Y[i] + C[i];
+}
+)";
+
+void
+printSets(const ndp::ir::VarSet &set, const ndp::ir::Statement &stmt,
+          const ndp::ir::ArrayTable &arrays, int depth)
+{
+    const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+    std::cout << indent << "(";
+    bool first = true;
+    for (const auto &elem : set.elems) {
+        if (!first)
+            std::cout << " ";
+        first = false;
+        if (elem.isLeaf()) {
+            std::cout << stmt.reads()[static_cast<std::size_t>(
+                                          elem.leaf)]
+                             ->toString(arrays, {"i", "j", "k"});
+        } else {
+            std::cout << "\n";
+            printSets(*elem.sub, stmt, arrays, depth + 1);
+        }
+    }
+    std::cout << ")";
+    if (depth == 0)
+        std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ndp;
+
+    std::string source = kDemoKernel;
+    ir::ParamMap params = {{"N", 1024}};
+    std::int32_t mesh_cols = 6, mesh_rows = 6;
+    std::int32_t fixed_window = 0;
+    std::int64_t shown = 1;
+
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        auto next_value = [&]() -> std::string {
+            if (a + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++a];
+        };
+        if (arg == "--param") {
+            const std::string kv = next_value();
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos) {
+                std::cerr << "--param expects NAME=VALUE\n";
+                return 1;
+            }
+            params[kv.substr(0, eq)] = std::atoll(kv.c_str() + eq + 1);
+        } else if (arg == "--mesh") {
+            const std::string dims = next_value();
+            const auto x = dims.find('x');
+            if (x == std::string::npos) {
+                std::cerr << "--mesh expects CxR, e.g. 6x6\n";
+                return 1;
+            }
+            mesh_cols = std::atoi(dims.c_str());
+            mesh_rows = std::atoi(dims.c_str() + x + 1);
+        } else if (arg == "--window") {
+            fixed_window = std::atoi(next_value().c_str());
+        } else if (arg == "--iterations-shown") {
+            shown = std::atoll(next_value().c_str());
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: ndpc [kernel-file] "
+                         "[--param NAME=VALUE]... [--mesh CxR] "
+                         "[--window W] [--iterations-shown K]\n";
+            return 0;
+        } else {
+            std::ifstream file(arg);
+            if (!file) {
+                std::cerr << "cannot open kernel file '" << arg
+                          << "'\n";
+                return 1;
+            }
+            std::ostringstream buffer;
+            buffer << file.rdbuf();
+            source = buffer.str();
+        }
+    }
+
+    try {
+        // ---- Front end. ----
+        ir::ArrayTable arrays;
+        arrays.setDefaultElementSize(64);
+        ir::LoopNest nest =
+            ir::parseKernel(source, "kernel", arrays, params);
+
+        std::cout << "== parsed kernel ==\n"
+                  << nest.toString(arrays) << "\n"
+                  << "statically analyzable references: "
+                  << 100.0 * ir::analyzableFraction(nest) << "%\n\n";
+
+        std::cout << "== nested variable sets (Section 4.2) ==\n";
+        for (const ir::Statement &stmt : nest.body()) {
+            std::cout << stmt.label() << ": ";
+            const ir::VarSet sets = ir::buildVarSets(stmt);
+            printSets(sets, stmt, arrays, 0);
+        }
+
+        // ---- Machine, baseline, partitioner. ----
+        sim::ManycoreConfig config;
+        config.meshCols = mesh_cols;
+        config.meshRows = mesh_rows;
+        sim::ManycoreSystem system(config);
+        sim::ExecutionEngine engine(system);
+        baseline::DefaultPlacement placement(system, arrays);
+        const auto nodes = placement.assignIterations(nest);
+        const sim::SimResult def =
+            engine.run(placement.buildPlan(nest, nodes));
+
+        partition::PartitionOptions options;
+        options.fixedWindowSize = fixed_window;
+        partition::Partitioner partitioner(system, arrays, options);
+        const sim::ExecutionPlan plan = partitioner.plan(nest, nodes);
+        const sim::SimResult opt = engine.run(plan);
+        const auto &report = partitioner.report();
+
+        std::cout << "\n== plan ==\n"
+                  << "window size: " << report.chosenWindowSize
+                  << (fixed_window ? " (fixed)" : " (adaptive)")
+                  << "\nstatements split: " << report.statementsSplit
+                  << ", kept default: "
+                  << report.statementsKeptDefault
+                  << "\nplanned movement: " << report.plannedMovement
+                  << " vs default " << report.defaultMovement
+                  << " flit-hops\n";
+
+        std::cout << "\n== generated schedule (iterations 0.."
+                  << shown - 1 << ") ==\n"
+                  << partition::generatePseudoCode(plan, nest, arrays,
+                                                   0, shown - 1);
+
+        Table cmp({"metric", "default", "optimized"});
+        cmp.row()
+            .cell("execution time (cycles)")
+            .cell(def.makespanCycles)
+            .cell(opt.makespanCycles);
+        cmp.row()
+            .cell("data movement (flit-hops)")
+            .cell(def.dataMovementFlitHops)
+            .cell(opt.dataMovementFlitHops);
+        cmp.row()
+            .cell("L1 hit rate")
+            .cell(def.l1HitRate(), 3)
+            .cell(opt.l1HitRate(), 3);
+        cmp.row()
+            .cell("synchronisations")
+            .cell(def.syncCount)
+            .cell(opt.syncCount);
+        std::cout << "\n== simulation (" << mesh_cols << "x"
+                  << mesh_rows << " mesh) ==\n";
+        cmp.print(std::cout);
+        std::cout << "\nexecution time reduction: "
+                  << percentReduction(
+                         static_cast<double>(def.makespanCycles),
+                         static_cast<double>(opt.makespanCycles))
+                  << "%\n";
+    } catch (const FatalError &e) {
+        std::cerr << "ndpc: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,173 @@
+#include "baseline/default_placement.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ir/instance.h"
+#include "support/error.h"
+
+namespace ndp::baseline {
+
+DefaultPlacement::DefaultPlacement(sim::ManycoreSystem &system,
+                                   const ir::ArrayTable &arrays,
+                                   DefaultPlacementOptions options)
+    : system_(&system), arrays_(&arrays), options_(options)
+{
+}
+
+std::vector<noc::NodeId>
+DefaultPlacement::assignIterations(const ir::LoopNest &nest)
+{
+    const noc::MeshTopology &mesh = system_->mesh();
+    const mem::AddressMap &amap = system_->addressMap();
+    const std::int64_t iterations = nest.iterationCount();
+    const std::int64_t nodes = mesh.nodeCount();
+
+    std::int64_t chunk = options_.chunkIterations;
+    if (chunk <= 0)
+        chunk = std::max<std::int64_t>(1, iterations / nodes);
+    const std::int64_t chunk_count = (iterations + chunk - 1) / chunk;
+
+    // ---- Profile: locality cost of each chunk on each node. ----
+    // Cost(node) = sum over sampled accesses of the Manhattan distance
+    // from the node to the access's home bank (the LLC/MC viewpoint of
+    // Section 6.1's profile data).
+    std::vector<std::vector<std::int64_t>> cost(
+        static_cast<std::size_t>(chunk_count),
+        std::vector<std::int64_t>(static_cast<std::size_t>(nodes), 0));
+
+    for (std::int64_t c = 0; c < chunk_count; ++c) {
+        const std::int64_t begin = c * chunk;
+        const std::int64_t end = std::min(begin + chunk, iterations);
+        const std::int64_t span = end - begin;
+        const std::int64_t samples =
+            std::min(options_.profileSamplesPerChunk, span);
+        for (std::int64_t s = 0; s < samples; ++s) {
+            const std::int64_t k = begin + s * span / samples;
+            ir::StatementInstance inst;
+            inst.iter = nest.iterationAt(k);
+            inst.iterationNumber = k;
+            for (const ir::Statement &stmt : nest.body()) {
+                inst.stmt = &stmt;
+                for (const ir::ResolvedRef &r :
+                     resolveReads(inst, *arrays_)) {
+                    const noc::NodeId home = amap.homeBankNode(r.addr);
+                    for (std::int64_t n = 0; n < nodes; ++n) {
+                        cost[static_cast<std::size_t>(c)]
+                            [static_cast<std::size_t>(n)] +=
+                            mesh.distance(static_cast<noc::NodeId>(n),
+                                          home);
+                    }
+                }
+                const ir::ResolvedRef w = resolveWrite(inst, *arrays_);
+                const noc::NodeId home = amap.homeBankNode(w.addr);
+                for (std::int64_t n = 0; n < nodes; ++n) {
+                    cost[static_cast<std::size_t>(c)]
+                        [static_cast<std::size_t>(n)] += mesh.distance(
+                            static_cast<noc::NodeId>(n), home);
+                }
+            }
+        }
+    }
+
+    // ---- Greedy capacity-constrained assignment. ----
+    const std::int64_t capacity =
+        std::max<std::int64_t>(1, (chunk_count + nodes - 1) / nodes);
+    std::vector<std::int64_t> assigned(static_cast<std::size_t>(nodes),
+                                       0);
+    std::vector<noc::NodeId> chunk_node(
+        static_cast<std::size_t>(chunk_count), 0);
+    for (std::int64_t c = 0; c < chunk_count; ++c) {
+        noc::NodeId best = noc::kInvalidNode;
+        std::int64_t best_cost = 0;
+        for (std::int64_t n = 0; n < nodes; ++n) {
+            if (assigned[static_cast<std::size_t>(n)] >= capacity)
+                continue;
+            const std::int64_t cn =
+                cost[static_cast<std::size_t>(c)]
+                    [static_cast<std::size_t>(n)];
+            if (best == noc::kInvalidNode || cn < best_cost) {
+                best = static_cast<noc::NodeId>(n);
+                best_cost = cn;
+            }
+        }
+        NDP_CHECK(best != noc::kInvalidNode, "capacity exhausted");
+        chunk_node[static_cast<std::size_t>(c)] = best;
+        ++assigned[static_cast<std::size_t>(best)];
+    }
+
+    std::vector<noc::NodeId> result(
+        static_cast<std::size_t>(iterations));
+    for (std::int64_t k = 0; k < iterations; ++k)
+        result[static_cast<std::size_t>(k)] =
+            chunk_node[static_cast<std::size_t>(k / chunk)];
+    return result;
+}
+
+sim::ExecutionPlan
+DefaultPlacement::buildPlan(const ir::LoopNest &nest,
+                            const std::vector<noc::NodeId> &nodes)
+{
+    NDP_REQUIRE(static_cast<std::int64_t>(nodes.size()) ==
+                    nest.iterationCount(),
+                "assignment size mismatch");
+    const noc::MeshTopology &mesh = system_->mesh();
+    const mem::AddressMap &amap = system_->addressMap();
+
+    sim::ExecutionPlan plan;
+    plan.name = nest.name() + "/default";
+    plan.windowSize = 1;
+
+    std::unordered_map<mem::Addr, sim::TaskId> last_writer;
+    const auto stmt_count =
+        static_cast<std::int64_t>(nest.body().size());
+
+    for (std::int64_t k = 0; k < nest.iterationCount(); ++k) {
+        const noc::NodeId node = nodes[static_cast<std::size_t>(k)];
+        ir::StatementInstance inst;
+        inst.iter = nest.iterationAt(k);
+        inst.iterationNumber = k;
+        for (std::int64_t s = 0; s < stmt_count; ++s) {
+            const ir::Statement &stmt =
+                nest.body()[static_cast<std::size_t>(s)];
+            inst.stmt = &stmt;
+            const ir::ResolvedRef write = resolveWrite(inst, *arrays_);
+            const std::vector<ir::ResolvedRef> reads =
+                resolveReads(inst, *arrays_);
+
+            sim::Task task;
+            task.id = static_cast<sim::TaskId>(plan.tasks.size());
+            task.node = node;
+            task.computeCost = stmt.totalOpCost();
+            task.statementIndex = static_cast<std::int32_t>(s);
+            task.iterationNumber = k;
+
+            sim::InstanceStats istats;
+            istats.statementIndex = task.statementIndex;
+            istats.iterationNumber = k;
+            for (const ir::ResolvedRef &r : reads) {
+                task.reads.push_back({r.addr, r.size, r.array});
+                istats.defaultDataMovement +=
+                    mesh.distance(node, amap.homeBankNode(r.addr));
+                const auto writer = last_writer.find(r.addr);
+                if (writer != last_writer.end() &&
+                    plan.tasks[static_cast<std::size_t>(writer->second)]
+                            .node != node) {
+                    task.deps.push_back(writer->second);
+                }
+            }
+            task.write =
+                sim::MemAccess{write.addr, write.size, write.array};
+            istats.defaultDataMovement +=
+                mesh.distance(node, amap.homeBankNode(write.addr));
+            istats.dataMovement = istats.defaultDataMovement;
+            last_writer[write.addr] = task.id;
+
+            plan.tasks.push_back(std::move(task));
+            plan.instances.push_back(istats);
+        }
+    }
+    return plan;
+}
+
+} // namespace ndp::baseline

@@ -1,0 +1,258 @@
+#include "driver/experiment.h"
+
+#include <algorithm>
+
+#include "baseline/data_to_mc.h"
+#include "ir/dependence.h"
+#include "support/error.h"
+
+namespace ndp::driver {
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(std::move(config))
+{
+}
+
+AppResult
+ExperimentRunner::runApp(const workloads::Workload &workload) const
+{
+    AppResult result;
+    result.app = workload.name;
+
+    sim::ManycoreSystem system(config_.machine);
+    system.setMcdramArrays(workload.mcdramArrays);
+    sim::ExecutionEngine engine(system, config_.energy);
+
+    baseline::DefaultPlacement placement(system, workload.arrays,
+                                         config_.placement);
+
+    double analyzable_weighted = 0.0;
+    std::int64_t analyzable_weight = 0;
+    std::int64_t def_l1_hits = 0, def_l1_acc = 0;
+    std::int64_t opt_l1_hits = 0, opt_l1_acc = 0;
+    Accumulator def_avg_lat, opt_avg_lat;
+    double def_max_lat = 0.0, opt_max_lat = 0.0;
+
+    for (const ir::LoopNest &nest : workload.nests) {
+        NestResult nr;
+        nr.nest = nest.name();
+        nr.analyzableFraction = ir::analyzableFraction(nest);
+
+        const std::vector<noc::NodeId> nodes =
+            placement.assignIterations(nest);
+        sim::ExecutionPlan default_plan =
+            placement.buildPlan(nest, nodes);
+
+        // The default run doubles as the profiling pass: it trains the
+        // L2 miss predictor the partitioner consults.
+        system.addressMap().setPageMcOverride({});
+        nr.defaultRun = engine.run(default_plan);
+
+        if (config_.dataToMcRemap) {
+            system.addressMap().setPageMcOverride(baseline::profilePageToMc(
+                system, workload.arrays, nest, nodes));
+        }
+
+        sim::ExecutionPlan optimized_plan;
+        if (config_.optimizeComputation) {
+            partition::PartitionOptions popts = config_.partition;
+            popts.profileUtilization =
+                static_cast<double>(nr.defaultRun.totalBusyCycles) /
+                std::max<double>(
+                    1.0, static_cast<double>(
+                             nr.defaultRun.makespanCycles *
+                             config_.machine.meshCols *
+                             config_.machine.meshRows));
+            partition::Partitioner partitioner(system, workload.arrays,
+                                               popts);
+            optimized_plan = partitioner.plan(nest, nodes);
+            nr.report = partitioner.report();
+        } else {
+            optimized_plan = placement.buildPlan(nest, nodes);
+        }
+
+        sim::EngineOptions opts;
+        opts.idealNetwork = config_.idealNetwork;
+        nr.optimizedRun = engine.run(optimized_plan, opts);
+
+        if (config_.planSelection && config_.optimizeComputation &&
+            nr.optimizedRun.makespanCycles >
+                nr.defaultRun.makespanCycles) {
+            // Profile-guided selection: the transformation lost on
+            // this nest; ship the default plan instead. The report's
+            // planning statistics are cleared accordingly — no
+            // subcomputation was actually re-mapped.
+            nr.optimizedRun = engine.run(default_plan, opts);
+            partition::PartitionReport kept;
+            kept.chosenWindowSize = 1;
+            kept.statementsKeptDefault =
+                nr.report.statementsKeptDefault +
+                nr.report.statementsSplit;
+            kept.defaultMovement = nr.report.defaultMovement;
+            kept.plannedMovement = nr.report.defaultMovement;
+            kept.movementPerWindowSize =
+                nr.report.movementPerWindowSize;
+            for (const sim::InstanceStats &is :
+                 default_plan.instances) {
+                kept.movementReductionPct.add(0.0);
+                kept.degreeOfParallelism.add(1.0);
+                kept.syncsPerStatement.add(0.0);
+                kept.rawSyncsPerStatement.add(0.0);
+                (void)is;
+            }
+            nr.report = kept;
+        }
+
+        system.addressMap().setPageMcOverride({});
+
+        // ---- Aggregate. ----
+        result.defaultMakespan += nr.defaultRun.makespanCycles;
+        result.optimizedMakespan += nr.optimizedRun.makespanCycles;
+        result.defaultEnergy += nr.defaultRun.energy.total();
+        result.optimizedEnergy += nr.optimizedRun.energy.total();
+
+        result.movementReductionPct.merge(
+            nr.report.movementReductionPct);
+        result.degreeOfParallelism.merge(nr.report.degreeOfParallelism);
+        result.syncsPerStatement.merge(nr.report.syncsPerStatement);
+        result.rawSyncsPerStatement.merge(
+            nr.report.rawSyncsPerStatement);
+        for (int c = 0; c < 3; ++c)
+            result.offloadedOps[c] += nr.report.offloadedOps[c];
+
+        def_l1_hits += nr.defaultRun.l1.hits;
+        def_l1_acc += nr.defaultRun.l1.accesses();
+        opt_l1_hits += nr.optimizedRun.l1.hits;
+        opt_l1_acc += nr.optimizedRun.l1.accesses();
+        def_avg_lat.add(nr.defaultRun.avgNetworkLatency);
+        opt_avg_lat.add(nr.optimizedRun.avgNetworkLatency);
+        def_max_lat = std::max(def_max_lat,
+                               nr.defaultRun.maxNetworkLatency);
+        opt_max_lat = std::max(opt_max_lat,
+                               nr.optimizedRun.maxNetworkLatency);
+
+        const std::int64_t weight =
+            nest.iterationCount() *
+            static_cast<std::int64_t>(nest.body().size());
+        analyzable_weighted +=
+            nr.analyzableFraction * static_cast<double>(weight);
+        analyzable_weight += weight;
+
+        result.nests.push_back(std::move(nr));
+    }
+
+    result.defaultL1HitRate =
+        def_l1_acc == 0 ? 0.0
+                        : static_cast<double>(def_l1_hits) /
+                              static_cast<double>(def_l1_acc);
+    result.optimizedL1HitRate =
+        opt_l1_acc == 0 ? 0.0
+                        : static_cast<double>(opt_l1_hits) /
+                              static_cast<double>(opt_l1_acc);
+    result.defaultAvgNetLatency = def_avg_lat.mean();
+    result.optimizedAvgNetLatency = opt_avg_lat.mean();
+    result.defaultMaxNetLatency = def_max_lat;
+    result.optimizedMaxNetLatency = opt_max_lat;
+    result.analyzableFraction =
+        analyzable_weight == 0
+            ? 1.0
+            : analyzable_weighted /
+                  static_cast<double>(analyzable_weight);
+    result.predictorAccuracy = system.missPredictor().accuracy();
+    return result;
+}
+
+IsolationResult
+ExperimentRunner::runMetricIsolation(
+    const workloads::Workload &workload) const
+{
+    IsolationResult iso;
+    iso.app = workload.name;
+
+    sim::ManycoreSystem system(config_.machine);
+    system.setMcdramArrays(workload.mcdramArrays);
+    sim::ExecutionEngine engine(system, config_.energy);
+    baseline::DefaultPlacement placement(system, workload.arrays,
+                                         config_.placement);
+
+    std::int64_t def_total = 0;
+    std::int64_t full_total = 0;
+    std::int64_t s1_total = 0, s2_total = 0, s3_total = 0, s4_total = 0;
+
+    for (const ir::LoopNest &nest : workload.nests) {
+        const std::vector<noc::NodeId> nodes =
+            placement.assignIterations(nest);
+        sim::ExecutionPlan default_plan =
+            placement.buildPlan(nest, nodes);
+        const sim::SimResult def = engine.run(default_plan);
+
+        partition::PartitionOptions popts = config_.partition;
+        popts.profileUtilization =
+            static_cast<double>(def.totalBusyCycles) /
+            std::max<double>(1.0,
+                             static_cast<double>(
+                                 def.makespanCycles *
+                                 config_.machine.meshCols *
+                                 config_.machine.meshRows));
+        partition::Partitioner partitioner(system, workload.arrays,
+                                           popts);
+        sim::ExecutionPlan optimized_plan = partitioner.plan(nest, nodes);
+        const sim::SimResult opt = engine.run(optimized_plan);
+
+        def_total += def.makespanCycles;
+        full_total += config_.planSelection
+                          ? std::min(opt.makespanCycles,
+                                     def.makespanCycles)
+                          : opt.makespanCycles;
+
+        // S1: the default code with the optimized L1 hit/miss profile.
+        sim::EngineOptions s1;
+        s1.l1HitRateOverride = opt.l1HitRate();
+        s1_total += engine.run(default_plan, s1).makespanCycles;
+
+        // S2: the default code paying the optimized data movement —
+        // scale every network latency by the movement ratio.
+        sim::EngineOptions s2;
+        s2.networkScale =
+            def.dataMovementFlitHops == 0
+                ? 1.0
+                : static_cast<double>(opt.dataMovementFlitHops) /
+                      static_cast<double>(def.dataMovementFlitHops);
+        s2_total += engine.run(default_plan, s2).makespanCycles;
+
+        // S3: the default code with the optimized degree of
+        // subcomputation parallelism.
+        sim::EngineOptions s3;
+        s3.parallelismSpeedup = std::max(
+            1.0, partitioner.report().degreeOfParallelism.mean());
+        s3_total += engine.run(default_plan, s3).makespanCycles;
+
+        // S4: the default code paying the optimized synchronisations.
+        sim::EngineOptions s4;
+        s4.extraSyncs = opt.syncCount;
+        s4_total += engine.run(default_plan, s4).makespanCycles;
+    }
+
+    const auto pct = [&](std::int64_t v) {
+        return percentReduction(static_cast<double>(def_total),
+                                static_cast<double>(v));
+    };
+    iso.s1L1Behavior = pct(s1_total);
+    iso.s2DataMovement = pct(s2_total);
+    iso.s3Parallelism = pct(s3_total);
+    iso.s4Synchronization = pct(s4_total);
+    iso.fullApproach = pct(full_total);
+    return iso;
+}
+
+double
+geomeanPct(const std::vector<double> &values)
+{
+    std::vector<double> floored;
+    floored.reserve(values.size());
+    for (double v : values)
+        floored.push_back(std::max(v, 0.1));
+    return geometricMean(floored);
+}
+
+} // namespace ndp::driver

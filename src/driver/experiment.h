@@ -1,0 +1,170 @@
+#ifndef NDP_DRIVER_EXPERIMENT_H
+#define NDP_DRIVER_EXPERIMENT_H
+
+/**
+ * @file
+ * Experiment orchestration: builds the machine, runs the profile-
+ * guided default placement and the NDP-optimized plan for every nest
+ * of a workload, and aggregates all the metrics the paper's evaluation
+ * reports (Sections 6.2-6.7). One ExperimentConfig describes one bar
+ * of one figure; the benches compose them.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/default_placement.h"
+#include "partition/partitioner.h"
+#include "sim/engine.h"
+#include "workloads/workload.h"
+
+namespace ndp::driver {
+
+/** Full description of one experimental configuration. */
+struct ExperimentConfig
+{
+    sim::ManycoreConfig machine;
+    partition::PartitionOptions partition;
+    baseline::DefaultPlacementOptions placement;
+    sim::EnergyParams energy;
+
+    /**
+     * When false the "optimized" run executes the *default* plan —
+     * used by Figure 23's data-mapping-only bar and as a sanity
+     * reference.
+     */
+    bool optimizeComputation = true;
+    /** Zero network latency on the optimized run (Section 6.4). */
+    bool idealNetwork = false;
+    /** Profile-based page->MC remap on the optimized run (Fig. 23). */
+    bool dataToMcRemap = false;
+    /**
+     * Profile-guided plan selection: after simulating the optimized
+     * plan, fall back to the default plan for any nest where the
+     * transformation did not pay off (a compiler with an accurate cost
+     * model would not ship a slowdown). Disable to report the raw
+     * partitioner output.
+     */
+    bool planSelection = true;
+};
+
+/** Results of the default/optimized pair for one loop nest. */
+struct NestResult
+{
+    std::string nest;
+    sim::SimResult defaultRun;
+    sim::SimResult optimizedRun;
+    partition::PartitionReport report;
+    double analyzableFraction = 1.0;
+};
+
+/** One application under one configuration. */
+struct AppResult
+{
+    std::string app;
+    std::vector<NestResult> nests;
+
+    // Aggregates over all nests:
+    std::int64_t defaultMakespan = 0;
+    std::int64_t optimizedMakespan = 0;
+    double defaultEnergy = 0.0;
+    double optimizedEnergy = 0.0;
+
+    /** Per-statement movement reduction (Figure 13). */
+    Accumulator movementReductionPct;
+    /** Degree of subcomputation parallelism (Figure 14). */
+    Accumulator degreeOfParallelism;
+    /** Syncs per statement after minimisation (Figure 15). */
+    Accumulator syncsPerStatement;
+    Accumulator rawSyncsPerStatement;
+
+    double defaultL1HitRate = 0.0;
+    double optimizedL1HitRate = 0.0;
+    double defaultAvgNetLatency = 0.0;
+    double optimizedAvgNetLatency = 0.0;
+    double defaultMaxNetLatency = 0.0;
+    double optimizedMaxNetLatency = 0.0;
+
+    /** Static compile-time analyzability (Table 1). */
+    double analyzableFraction = 1.0;
+    /** Measured miss-predictor accuracy (Table 2). */
+    double predictorAccuracy = 0.0;
+    /** Offloaded op counts by category (Table 3). */
+    std::int64_t offloadedOps[3] = {0, 0, 0};
+
+    double
+    execTimeReductionPct() const
+    {
+        return percentReduction(
+            static_cast<double>(defaultMakespan),
+            static_cast<double>(optimizedMakespan));
+    }
+
+    double
+    energyReductionPct() const
+    {
+        return percentReduction(defaultEnergy, optimizedEnergy);
+    }
+
+    /** Relative L1 hit-rate improvement (Figure 16). */
+    double
+    l1HitRateImprovementPct() const
+    {
+        if (defaultL1HitRate == 0.0)
+            return 0.0;
+        return 100.0 * (optimizedL1HitRate - defaultL1HitRate) /
+               defaultL1HitRate;
+    }
+
+    double
+    avgNetLatencyReductionPct() const
+    {
+        return percentReduction(defaultAvgNetLatency,
+                                optimizedAvgNetLatency);
+    }
+
+    double
+    maxNetLatencyReductionPct() const
+    {
+        return percentReduction(defaultMaxNetLatency,
+                                optimizedMaxNetLatency);
+    }
+};
+
+/** Figure 18's isolated-metric results, as % execution-time gain. */
+struct IsolationResult
+{
+    std::string app;
+    double s1L1Behavior = 0.0;
+    double s2DataMovement = 0.0;
+    double s3Parallelism = 0.0;
+    double s4Synchronization = 0.0;
+    double fullApproach = 0.0;
+};
+
+/** Runs workloads under configurations. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(ExperimentConfig config = {});
+
+    const ExperimentConfig &config() const { return config_; }
+
+    /** Run one application end to end (fresh machine). */
+    AppResult runApp(const workloads::Workload &workload) const;
+
+    /** Figure 18: replay the default plan with one donor metric each. */
+    IsolationResult runMetricIsolation(
+        const workloads::Workload &workload) const;
+
+  private:
+    ExperimentConfig config_;
+};
+
+/** Geometric mean of max(value,floor) percentages over apps. */
+double geomeanPct(const std::vector<double> &values);
+
+} // namespace ndp::driver
+
+#endif // NDP_DRIVER_EXPERIMENT_H

@@ -1,0 +1,124 @@
+#ifndef NDP_IR_ARRAY_H
+#define NDP_IR_ARRAY_H
+
+/**
+ * @file
+ * Program arrays and the virtual address layout that determines their
+ * on-chip homes. The ArrayTable plays the role of the paper's
+ * OS-assisted allocator (Section 4.1): bases are page-aligned and the
+ * (identity) VA->PA mapping preserves bank/channel bits, so the
+ * compiler can derive every datum's home node from its address.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address.h"
+
+namespace ndp::ir {
+
+using ArrayId = std::int32_t;
+inline constexpr ArrayId kInvalidArray = -1;
+
+/** Static description of one program array. */
+struct ArrayInfo
+{
+    ArrayId id = kInvalidArray;
+    std::string name;
+    /** Extent of each dimension, outermost first; row-major layout. */
+    std::vector<std::int64_t> extents;
+    /** Bytes per element (8 = double, the common case). */
+    std::uint32_t elementSize = 8;
+    /** Virtual base address (page-aligned). */
+    mem::Addr base = 0;
+    /**
+     * Whether the flat-memory-mode profiling step (Vtune-like, Section
+     * 6.1) placed this array into MCDRAM rather than DDR.
+     */
+    bool preferMcdram = false;
+
+    std::int64_t
+    elementCount() const
+    {
+        std::int64_t n = 1;
+        for (std::int64_t e : extents)
+            n *= e;
+        return n;
+    }
+
+    std::uint64_t
+    sizeBytes() const
+    {
+        return static_cast<std::uint64_t>(elementCount()) * elementSize;
+    }
+};
+
+/**
+ * Registry and allocator for a program's arrays.
+ *
+ * Also stores element values for *index arrays* (arrays used inside
+ * another array's subscript, e.g. Y in X[Y[i]]): the simulator and the
+ * inspector both need the realised index values.
+ */
+class ArrayTable
+{
+  public:
+    ArrayTable() = default;
+
+    /**
+     * Create an array and assign it the next page-aligned base address.
+     * @param extents per-dimension extents, outermost first
+     * @param element_size bytes per element; 0 uses the table default
+     *        (initially 8). Workloads that model array-of-structures
+     *        data (particles, grid cells) set the default to a full
+     *        cache line.
+     */
+    ArrayId create(const std::string &name,
+                   std::vector<std::int64_t> extents,
+                   std::uint32_t element_size = 0);
+
+    /** Element size applied when create() is passed 0. */
+    void setDefaultElementSize(std::uint32_t bytes);
+    std::uint32_t defaultElementSize() const { return defaultElemSize_; }
+
+    const ArrayInfo &info(ArrayId id) const;
+    ArrayInfo &info(ArrayId id);
+
+    /** Lookup by name; kInvalidArray when absent. */
+    ArrayId find(const std::string &name) const;
+
+    std::size_t size() const { return arrays_.size(); }
+
+    /** Address of the element at row-major flat index @p flat. */
+    mem::Addr elementAddr(ArrayId id, std::int64_t flat) const;
+
+    /** Address of the element at multi-dimensional @p indices. */
+    mem::Addr elementAddr(ArrayId id,
+                          const std::vector<std::int64_t> &indices) const;
+
+    /** Row-major flat index for multi-dimensional @p indices. */
+    std::int64_t flatIndex(ArrayId id,
+                           const std::vector<std::int64_t> &indices) const;
+
+    /** Install the contents of an index array (for X[Y[i]] patterns). */
+    void setIndexData(ArrayId id, std::vector<std::int64_t> values);
+
+    /** True when index data was installed for @p id. */
+    bool hasIndexData(ArrayId id) const;
+
+    /** Value of index array @p id at flat position @p flat. */
+    std::int64_t indexValue(ArrayId id, std::int64_t flat) const;
+
+  private:
+    std::vector<ArrayInfo> arrays_;
+    std::unordered_map<std::string, ArrayId> byName_;
+    std::unordered_map<ArrayId, std::vector<std::int64_t>> indexData_;
+    mem::Addr nextBase_ = mem::kPageSize; // keep address 0 unused
+    std::uint32_t defaultElemSize_ = 8;
+};
+
+} // namespace ndp::ir
+
+#endif // NDP_IR_ARRAY_H

@@ -1,0 +1,125 @@
+#include "ir/dependence.h"
+
+#include "support/error.h"
+
+namespace ndp::ir {
+
+const char *
+toString(DepKind kind)
+{
+    switch (kind) {
+      case DepKind::Flow:
+        return "flow";
+      case DepKind::Anti:
+        return "anti";
+      case DepKind::Output:
+        return "output";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Resolved access set of one instance. */
+struct AccessSet
+{
+    ResolvedRef write;
+    std::vector<ResolvedRef> reads;
+};
+
+/**
+ * Whether two refs may touch the same element. Exact when both are
+ * resolvable; conservative same-array aliasing otherwise.
+ */
+bool
+mayConflict(const ResolvedRef &a, const ResolvedRef &b,
+            bool inspector_resolved, bool &is_may)
+{
+    if (a.array != b.array)
+        return false;
+    if (!inspector_resolved && (!a.analyzable || !b.analyzable)) {
+        // Cannot compare addresses at compile time: conservatively
+        // assume a conflict (a may-dependence).
+        is_may = true;
+        return true;
+    }
+    is_may = false;
+    return a.addr == b.addr;
+}
+
+} // namespace
+
+std::vector<Dependence>
+analyzeDependences(std::span<const StatementInstance> instances,
+                   const ArrayTable &arrays, bool inspector_resolved)
+{
+    std::vector<AccessSet> sets;
+    sets.reserve(instances.size());
+    for (const StatementInstance &inst : instances) {
+        AccessSet set;
+        set.write = resolveWrite(inst, arrays);
+        set.reads = resolveReads(inst, arrays);
+        sets.push_back(std::move(set));
+    }
+
+    std::vector<Dependence> deps;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        for (std::size_t j = i + 1; j < sets.size(); ++j) {
+            bool may = false;
+            // Flow: i writes, j reads.
+            bool flow = false;
+            for (const ResolvedRef &r : sets[j].reads) {
+                bool m = false;
+                if (mayConflict(sets[i].write, r, inspector_resolved, m)) {
+                    flow = true;
+                    may = may || m;
+                }
+            }
+            if (flow)
+                deps.push_back({i, j, DepKind::Flow, may});
+
+            // Anti: i reads, j writes.
+            may = false;
+            bool anti = false;
+            for (const ResolvedRef &r : sets[i].reads) {
+                bool m = false;
+                if (mayConflict(r, sets[j].write, inspector_resolved, m)) {
+                    anti = true;
+                    may = may || m;
+                }
+            }
+            if (anti)
+                deps.push_back({i, j, DepKind::Anti, may});
+
+            // Output: both write.
+            bool m = false;
+            if (mayConflict(sets[i].write, sets[j].write,
+                            inspector_resolved, m)) {
+                deps.push_back({i, j, DepKind::Output, m});
+            }
+        }
+    }
+    return deps;
+}
+
+double
+analyzableFraction(const LoopNest &nest)
+{
+    std::int64_t total = 0;
+    std::int64_t analyzable = 0;
+    for (const Statement &stmt : nest.body()) {
+        ++total;
+        if (stmt.lhs().isAnalyzable())
+            ++analyzable;
+        for (const ArrayRef *ref : stmt.reads()) {
+            ++total;
+            if (ref->isAnalyzable())
+                ++analyzable;
+        }
+    }
+    return total == 0 ? 1.0
+                      : static_cast<double>(analyzable) /
+                            static_cast<double>(total);
+}
+
+} // namespace ndp::ir

@@ -1,0 +1,66 @@
+#ifndef NDP_IR_DEPENDENCE_H
+#define NDP_IR_DEPENDENCE_H
+
+/**
+ * @file
+ * Data-dependence analysis over a window of statement instances
+ * (Section 4.5). Affine references compare exactly (Maydan-style exact
+ * analysis degenerates to address comparison once iterations are
+ * concrete). Indirect references are *may*-dependences until the
+ * inspector has recorded the realised index values, after which they
+ * compare exactly too.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/instance.h"
+
+namespace ndp::ir {
+
+enum class DepKind : std::uint8_t
+{
+    Flow,   ///< write then read (true dependence)
+    Anti,   ///< read then write
+    Output, ///< write then write
+};
+
+const char *toString(DepKind kind);
+
+/** A dependence from instance @ref from to the later instance @ref to. */
+struct Dependence
+{
+    std::size_t from = 0;
+    std::size_t to = 0;
+    DepKind kind = DepKind::Flow;
+    /**
+     * True when the dependence could not be proven or disproven
+     * (indirect subscripts without inspector data): the pair *may*
+     * conflict and the scheduler must serialise it.
+     */
+    bool may = false;
+};
+
+/**
+ * All pairwise dependences among @p instances (which must be listed in
+ * execution order).
+ *
+ * @param inspector_resolved when true, indirect subscripts are resolved
+ *        through the ArrayTable's index data (the inspector has run);
+ *        when false they produce conservative may-dependences against
+ *        any access to the same array.
+ */
+std::vector<Dependence> analyzeDependences(
+    std::span<const StatementInstance> instances, const ArrayTable &arrays,
+    bool inspector_resolved);
+
+/**
+ * Fraction of a nest's static references (reads + writes) whose
+ * location is compile-time analyzable — the quantity of Table 1.
+ */
+double analyzableFraction(const LoopNest &nest);
+
+} // namespace ndp::ir
+
+#endif // NDP_IR_DEPENDENCE_H

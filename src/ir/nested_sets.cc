@@ -1,0 +1,129 @@
+#include "ir/nested_sets.h"
+
+#include "support/error.h"
+
+namespace ndp::ir {
+
+std::size_t
+VarSet::leafCount() const
+{
+    std::size_t n = 0;
+    for (const Elem &e : elems)
+        n += e.isLeaf() ? 1 : e.sub->leafCount();
+    return n;
+}
+
+std::size_t
+VarSet::depth() const
+{
+    std::size_t d = 1;
+    for (const Elem &e : elems) {
+        if (!e.isLeaf())
+            d = std::max(d, 1 + e.sub->depth());
+    }
+    return d;
+}
+
+namespace {
+
+/** Whether a run of class @p cls may absorb the operator @p op. */
+bool
+canFlattenInto(OpClass cls, OpKind op)
+{
+    if (opClass(op) != cls)
+        return false;
+    switch (cls) {
+      case OpClass::AddLike: // a - b == a + (-b): reorderable
+      case OpClass::MulLike: // a / b == a * (1/b): reorderable
+        return true;
+      case OpClass::Logical:
+      case OpClass::MinMax:
+        return true; // commutative and associative per operator
+      case OpClass::Shift:
+        return false; // (a<<b)<<c != a<<(b<<c); keep binary
+    }
+    return false;
+}
+
+/**
+ * Recursive builder. @p next_leaf walks Statement::reads() in the same
+ * left-to-right order as Expr::collectRefs().
+ */
+void buildInto(const Expr &e, VarSet &set, OpKind tag, int &next_leaf);
+
+std::unique_ptr<VarSet>
+buildSet(const Expr &e, int &next_leaf)
+{
+    auto set = std::make_unique<VarSet>();
+    if (e.kind() == Expr::Kind::Binary) {
+        set->cls = opClass(e.op());
+        // Identity tag for the first element of the run.
+        const OpKind lead =
+            set->cls == OpClass::MulLike ? OpKind::Mul : e.op();
+        buildInto(e.lhs(), *set,
+                  set->cls == OpClass::AddLike ? OpKind::Add : lead,
+                  next_leaf);
+        buildInto(e.rhs(), *set, e.op(), next_leaf);
+    } else {
+        buildInto(e, *set, OpKind::Add, next_leaf);
+    }
+    return set;
+}
+
+void
+buildInto(const Expr &e, VarSet &set, OpKind tag, int &next_leaf)
+{
+    switch (e.kind()) {
+      case Expr::Kind::Const:
+        // Constants occupy no node; they fold into whichever
+        // subcomputation consumes them.
+        return;
+      case Expr::Kind::Ref: {
+        VarSet::Elem elem;
+        elem.op = tag;
+        elem.leaf = next_leaf++;
+        set.elems.push_back(std::move(elem));
+        return;
+      }
+      case Expr::Kind::Binary: {
+        if (canFlattenInto(set.cls, e.op())) {
+            // Same-priority run: keep flattening into this set. The
+            // left subtree keeps the incoming tag (left-assoc parse
+            // puts the run's head there); the right subtree gets this
+            // node's operator.
+            buildInto(e.lhs(), set, tag, next_leaf);
+            buildInto(e.rhs(), set, e.op(), next_leaf);
+            return;
+        }
+        // Different priority (or parentheses): nested set.
+        VarSet::Elem elem;
+        elem.op = tag;
+        elem.sub = buildSet(e, next_leaf);
+        // A sub-set that collapsed to a single element (constants were
+        // dropped) is hoisted to keep the hierarchy minimal.
+        if (elem.sub->elems.size() == 1) {
+            VarSet::Elem inner = std::move(elem.sub->elems.front());
+            inner.op = tag;
+            set.elems.push_back(std::move(inner));
+        } else if (!elem.sub->elems.empty()) {
+            set.elems.push_back(std::move(elem));
+        }
+        return;
+      }
+    }
+}
+
+} // namespace
+
+VarSet
+buildVarSets(const Statement &stmt)
+{
+    int next_leaf = 0;
+    std::unique_ptr<VarSet> root = buildSet(stmt.rhs(), next_leaf);
+    NDP_CHECK(static_cast<std::size_t>(next_leaf) == stmt.rhsReadCount(),
+              "nested-set leaf walk out of sync with reads(): "
+                  << next_leaf << " vs " << stmt.rhsReadCount());
+    return std::move(*root);
+}
+
+} // namespace ndp::ir

@@ -1,0 +1,69 @@
+#ifndef NDP_IR_NESTED_SETS_H
+#define NDP_IR_NESTED_SETS_H
+
+/**
+ * @file
+ * The paper's nested variable sets (Section 4.2, Algorithm 1 line 5):
+ * the operands of a statement are classified into nested sets according
+ * to operator priority and parentheses; MSTs are built per level from
+ * the innermost set outwards, treating an already-processed set as a
+ * single component.
+ *
+ * We flatten maximal runs of same-precedence-class operators into one
+ * set. Subtraction flattens into the AddLike run (as addition of a
+ * negated value) and division into the MulLike run, so reordering the
+ * elements of a set never changes the statement's value. Shift runs,
+ * which are not reorderable, stay as binary (two-element) sets.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "ir/ops.h"
+#include "ir/statement.h"
+
+namespace ndp::ir {
+
+/**
+ * One level of the nested-set hierarchy. Elements are either leaf
+ * operands (indices into Statement::reads()) or nested sub-sets.
+ */
+struct VarSet
+{
+    struct Elem
+    {
+        /**
+         * The operator tag attaching this element to the set's fold.
+         * The first element carries the class identity op (Add / Mul /
+         * the run's op); later elements carry the actual operator, so
+         * e.g. `a - b + c` becomes AddLike{(+,a), (-,b), (+,c)}.
+         */
+        OpKind op = OpKind::Add;
+        /** Leaf operand index into Statement::reads(); -1 for sub-sets. */
+        int leaf = -1;
+        std::unique_ptr<VarSet> sub;
+
+        bool isLeaf() const { return leaf >= 0; }
+    };
+
+    OpClass cls = OpClass::AddLike;
+    std::vector<Elem> elems;
+
+    /** Total leaves in this set and all nested sets. */
+    std::size_t leafCount() const;
+
+    /** Depth of set nesting (a flat statement has depth 1). */
+    std::size_t depth() const;
+};
+
+/**
+ * Build the nested variable sets of @p stmt's RHS. Leaf indices refer
+ * to positions in stmt.reads(). Constants are dropped (they have no
+ * network location); a statement whose RHS is a single reference or
+ * constant yields a set with <= 1 element.
+ */
+VarSet buildVarSets(const Statement &stmt);
+
+} // namespace ndp::ir
+
+#endif // NDP_IR_NESTED_SETS_H

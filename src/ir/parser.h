@@ -1,0 +1,47 @@
+#ifndef NDP_IR_PARSER_H
+#define NDP_IR_PARSER_H
+
+/**
+ * @file
+ * A small textual front end for loop-nest kernels, standing in for the
+ * paper's LLVM source-to-source translator. Example:
+ *
+ *   array A[N]; array B[N]; array C[N]; array D[N]; array E[N];
+ *   for i = 0..N {
+ *     S1: A[i] = B[i] + C[i] + D[i] + E[i];
+ *     S2: X[i] = Y[i] + C[i];
+ *   }
+ *
+ * Supported: multi-dimensional arrays and loops, affine subscripts
+ * (i, 2*i+1, i+j-1), one-level indirect subscripts (X[Y[i]]),
+ * parentheses and the operators + - * / << >> & | ^ min() max(),
+ * floating literals, optional statement labels, and optional guards
+ * (`if (M[i]) stmt`). Identifiers in bounds/extents resolve through a
+ * caller-supplied parameter map.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/statement.h"
+
+namespace ndp::ir {
+
+/** Symbolic parameters usable in array extents and loop bounds. */
+using ParamMap = std::map<std::string, std::int64_t>;
+
+/**
+ * Parse one kernel (declarations + a single loop nest).
+ *
+ * Arrays declared with `array NAME[extent]...;` are created in
+ * @p arrays; previously created arrays may be referenced without a
+ * declaration. Throws ndp::FatalError with a line/column diagnostic on
+ * malformed input.
+ */
+LoopNest parseKernel(const std::string &source, const std::string &name,
+                     ArrayTable &arrays, const ParamMap &params = {});
+
+} // namespace ndp::ir
+
+#endif // NDP_IR_PARSER_H

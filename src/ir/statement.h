@@ -1,0 +1,139 @@
+#ifndef NDP_IR_STATEMENT_H
+#define NDP_IR_STATEMENT_H
+
+/**
+ * @file
+ * Program statements and loop nests: the unit the paper's algorithm
+ * consumes. A Statement is `lhs = rhs-expression` with an optional
+ * guard (a conditional that must be duplicated alongside offloaded
+ * subcomputations, Section 4.5). A LoopNest carries the enclosing
+ * loops, the statement body, and an optional outer timing loop (the
+ * inspector/executor hook).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace ndp::ir {
+
+/** Index of a statement within its loop-nest body. */
+using StatementIndex = std::int32_t;
+
+/** One assignment statement. */
+class Statement
+{
+  public:
+    Statement(std::string label, ArrayRef lhs, ExprPtr rhs,
+              ExprPtr guard = nullptr);
+
+    Statement(Statement &&) = default;
+    Statement &operator=(Statement &&) = default;
+    Statement(const Statement &other) { *this = other; }
+    Statement &operator=(const Statement &other);
+
+    const std::string &label() const { return label_; }
+    const ArrayRef &lhs() const { return lhs_; }
+    const Expr &rhs() const { return *rhs_; }
+
+    bool hasGuard() const { return guard_ != nullptr; }
+    const Expr &guard() const;
+
+    /**
+     * The read operands (RHS leaves followed by guard leaves),
+     * left-to-right. Pointers remain valid for the statement's
+     * lifetime.
+     */
+    const std::vector<const ArrayRef *> &reads() const { return reads_; }
+
+    /** Number of RHS leaves (excludes guard reads). */
+    std::size_t rhsReadCount() const { return rhsReadCount_; }
+
+    /** Operator counts by Table 3 category. */
+    void countOps(std::int64_t counts[3]) const { rhs_->countOps(counts); }
+
+    /** Total operator cost (division 10x) of the RHS. */
+    std::int64_t totalOpCost() const { return rhs_->totalOpCost(); }
+
+    std::string toString(const ArrayTable &arrays,
+                         const std::vector<std::string> &loop_names) const;
+
+  private:
+    void rebuildReadCache();
+
+    std::string label_;
+    ArrayRef lhs_;
+    ExprPtr rhs_;
+    ExprPtr guard_;
+    std::vector<const ArrayRef *> reads_;
+    std::size_t rhsReadCount_ = 0;
+};
+
+/** One loop of a nest: for (var = lower; var < upper; var += step). */
+struct Loop
+{
+    std::string var;
+    std::int64_t lower = 0;
+    std::int64_t upper = 0; ///< exclusive
+    std::int64_t step = 1;
+
+    std::int64_t
+    tripCount() const
+    {
+        if (step <= 0 || upper <= lower)
+            return 0;
+        return (upper - lower + step - 1) / step;
+    }
+};
+
+/** A perfectly nested loop with a straight-line statement body. */
+class LoopNest
+{
+  public:
+    LoopNest(std::string name, std::vector<Loop> loops,
+             std::vector<Statement> body);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Loop> &loops() const { return loops_; }
+    const std::vector<Statement> &body() const { return body_; }
+    std::vector<Statement> &body() { return body_; }
+
+    /** Loop variable names, outermost first. */
+    std::vector<std::string> loopNames() const;
+
+    /** Product of all trip counts. */
+    std::int64_t iterationCount() const;
+
+    /**
+     * Enumerate the iteration space in lexicographic order, invoking
+     * @p fn with each concrete iteration vector.
+     */
+    void forEachIteration(
+        const std::function<void(const IterationVector &)> &fn) const;
+
+    /** The @p k-th iteration (lexicographic), 0-based. */
+    IterationVector iterationAt(std::int64_t k) const;
+
+    /**
+     * Trip count of the surrounding timing loop (Section 4.5's
+     * inspector/executor): the driver runs @ref inspectorTrips of them
+     * through the inspector and the rest through the optimized
+     * executor. Defaults model a non-iterative kernel.
+     */
+    std::int64_t timingTrips = 1;
+    std::int64_t inspectorTrips = 0;
+
+    std::string toString(const ArrayTable &arrays) const;
+
+  private:
+    std::string name_;
+    std::vector<Loop> loops_;
+    std::vector<Statement> body_;
+};
+
+} // namespace ndp::ir
+
+#endif // NDP_IR_STATEMENT_H

@@ -1,0 +1,87 @@
+#include "ir/transform.h"
+
+#include "support/error.h"
+
+namespace ndp::ir {
+
+AffineExpr
+shiftAffine(const AffineExpr &expr, int loop_index, std::int64_t offset)
+{
+    AffineExpr shifted = expr;
+    shifted.addConstant(expr.coefficient(loop_index) * offset);
+    return shifted;
+}
+
+ArrayRef
+shiftRef(const ArrayRef &ref, int loop_index, std::int64_t offset)
+{
+    ArrayRef out = ref;
+    for (Subscript &sub : out.subscripts)
+        sub.affine = shiftAffine(sub.affine, loop_index, offset);
+    return out;
+}
+
+namespace {
+
+/** Deep-copy an expression with every reference shifted. */
+ExprPtr
+shiftExpr(const Expr &e, int loop_index, std::int64_t offset)
+{
+    switch (e.kind()) {
+      case Expr::Kind::Ref:
+        return Expr::ref(shiftRef(e.asRef(), loop_index, offset));
+      case Expr::Kind::Const:
+        return Expr::constant(e.asConstant());
+      case Expr::Kind::Binary:
+        return Expr::binary(e.op(),
+                            shiftExpr(e.lhs(), loop_index, offset),
+                            shiftExpr(e.rhs(), loop_index, offset));
+    }
+    ndp::panic("unreachable expr kind");
+}
+
+} // namespace
+
+LoopNest
+unroll(const LoopNest &nest, std::int64_t factor)
+{
+    NDP_REQUIRE(factor >= 1, "unroll factor must be >= 1");
+    if (factor == 1)
+        return nest;
+
+    const int inner =
+        static_cast<int>(nest.loops().size()) - 1;
+    const Loop &inner_loop = nest.loops()[static_cast<std::size_t>(inner)];
+    NDP_REQUIRE(inner_loop.tripCount() % factor == 0,
+                "innermost trip count " << inner_loop.tripCount()
+                                        << " not divisible by unroll "
+                                        << factor);
+
+    std::vector<Loop> loops = nest.loops();
+    loops[static_cast<std::size_t>(inner)].step =
+        inner_loop.step * factor;
+
+    std::vector<Statement> body;
+    body.reserve(nest.body().size() * static_cast<std::size_t>(factor));
+    for (std::int64_t k = 0; k < factor; ++k) {
+        const std::int64_t offset = k * inner_loop.step;
+        for (const Statement &stmt : nest.body()) {
+            ExprPtr rhs = shiftExpr(stmt.rhs(), inner, offset);
+            ExprPtr guard =
+                stmt.hasGuard()
+                    ? shiftExpr(stmt.guard(), inner, offset)
+                    : nullptr;
+            body.emplace_back(stmt.label() + "." + std::to_string(k),
+                              shiftRef(stmt.lhs(), inner, offset),
+                              std::move(rhs), std::move(guard));
+        }
+    }
+
+    LoopNest out(nest.name() + "/unroll" + std::to_string(factor),
+                 std::move(loops), std::move(body));
+    out.timingTrips = nest.timingTrips;
+    out.inspectorTrips = nest.inspectorTrips;
+    return out;
+}
+
+} // namespace ndp::ir

@@ -1,0 +1,45 @@
+#ifndef NDP_IR_TRANSFORM_H
+#define NDP_IR_TRANSFORM_H
+
+/**
+ * @file
+ * Loop-nest transformations used around the partitioner. The paper's
+ * Figure 12 unrolls the loop body by one iteration "to have enough
+ * statements filling the window"; unroll() provides exactly that:
+ * body statements are replicated with the innermost induction variable
+ * shifted, and the loop step scaled.
+ */
+
+#include "ir/statement.h"
+
+namespace ndp::ir {
+
+/**
+ * Unroll the innermost loop of @p nest by @p factor.
+ *
+ * The result's innermost loop advances by factor*step and its body
+ * contains factor copies of the original statements, copy k reading
+ * and writing with the innermost variable shifted by k*step. Labels
+ * gain a ".k" suffix (S1 -> S1.0, S1.1, ...), matching the paper's
+ * S11/S21 naming idea.
+ *
+ * The innermost trip count must be divisible by @p factor (no
+ * remainder loop is generated).
+ */
+LoopNest unroll(const LoopNest &nest, std::int64_t factor);
+
+/**
+ * Shift every affine use of loop variable @p loop_index in @p expr by
+ * @p offset iterations (i -> i + offset). Indirect subscripts shift
+ * their index-array position the same way.
+ */
+AffineExpr shiftAffine(const AffineExpr &expr, int loop_index,
+                       std::int64_t offset);
+
+/** Shift a whole reference (all its subscripts). */
+ArrayRef shiftRef(const ArrayRef &ref, int loop_index,
+                  std::int64_t offset);
+
+} // namespace ndp::ir
+
+#endif // NDP_IR_TRANSFORM_H

@@ -1,0 +1,57 @@
+#ifndef NDP_MEM_ADDRESS_H
+#define NDP_MEM_ADDRESS_H
+
+/**
+ * @file
+ * Address-space primitives. The paper's OS support preserves the L2
+ * bank bits and memory channel bits across VA->PA translation so the
+ * compiler can derive on-chip data locations from virtual addresses
+ * (Section 4.1); we model that guarantee with an identity mapping, so a
+ * single Addr type serves as both.
+ */
+
+#include <cstdint>
+
+namespace ndp::mem {
+
+using Addr = std::uint64_t;
+
+/** Cache-line size in bytes (KNL uses 64B lines). */
+inline constexpr Addr kLineSize = 64;
+/** Page size in bytes (4KB, matching Figure 2b's 12 offset bits). */
+inline constexpr Addr kPageSize = 4096;
+
+inline constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~(kLineSize - 1);
+}
+
+inline constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~(kPageSize - 1);
+}
+
+inline constexpr Addr
+lineNumber(Addr a)
+{
+    return a / kLineSize;
+}
+
+inline constexpr Addr
+pageNumber(Addr a)
+{
+    return a / kPageSize;
+}
+
+/** Extract @p count bits of @p a starting at bit @p low (Figure 2). */
+inline constexpr std::uint64_t
+bits(Addr a, unsigned low, unsigned count)
+{
+    return (a >> low) & ((std::uint64_t{1} << count) - 1);
+}
+
+} // namespace ndp::mem
+
+#endif // NDP_MEM_ADDRESS_H

@@ -1,0 +1,91 @@
+#include "mem/miss_predictor.h"
+
+#include "support/error.h"
+
+namespace ndp::mem {
+
+namespace {
+
+bool
+isPowerOfTwo(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+std::uint64_t
+hashLine(std::uint64_t line)
+{
+    line ^= line >> 17;
+    line *= 0xed5ad4bbull;
+    line ^= line >> 11;
+    line *= 0xac4c1b51ull;
+    line ^= line >> 15;
+    return line;
+}
+
+} // namespace
+
+MissPredictor::MissPredictor(std::size_t table_entries)
+    // Initialise to weak-miss: an untrained entry is most often a
+    // first-touch (compulsory miss) in loop-dominated codes.
+    : counters_(table_entries, 1), mask_(table_entries - 1)
+{
+    NDP_REQUIRE(isPowerOfTwo(table_entries),
+                "predictor table size must be a power of two, got "
+                    << table_entries);
+}
+
+std::size_t
+MissPredictor::indexOf(Addr a) const
+{
+    return static_cast<std::size_t>(hashLine(lineNumber(a))) & mask_;
+}
+
+bool
+MissPredictor::predictHit(Addr a) const
+{
+    return counters_[indexOf(a)] >= 2;
+}
+
+void
+MissPredictor::update(Addr a, bool actual_hit)
+{
+    const std::size_t idx = indexOf(a);
+    const bool predicted_hit = counters_[idx] >= 2;
+    ++total_;
+    if (predicted_hit == actual_hit)
+        ++correct_;
+    if (actual_hit) {
+        if (counters_[idx] < 3)
+            ++counters_[idx];
+    } else {
+        if (counters_[idx] > 0)
+            --counters_[idx];
+    }
+}
+
+double
+MissPredictor::accuracy() const
+{
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(correct_) /
+                             static_cast<double>(total_);
+}
+
+void
+MissPredictor::resetStats()
+{
+    total_ = 0;
+    correct_ = 0;
+}
+
+void
+MissPredictor::reset()
+{
+    std::fill(counters_.begin(), counters_.end(),
+              static_cast<std::uint8_t>(1));
+    total_ = 0;
+    correct_ = 0;
+}
+
+} // namespace ndp::mem

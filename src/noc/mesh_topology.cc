@@ -1,0 +1,160 @@
+#include "noc/mesh_topology.h"
+
+#include "support/error.h"
+
+namespace ndp::noc {
+
+MeshTopology::MeshTopology(std::int32_t cols, std::int32_t rows,
+                           bool torus)
+    : cols_(cols), rows_(rows), torus_(torus)
+{
+    NDP_REQUIRE(cols >= 2 && rows >= 2,
+                "mesh must be at least 2x2, got " << cols << "x" << rows);
+    // Each node has up to 4 outgoing links; we reserve a dense slot for
+    // all 4 directions per node (absent edge slots are simply unused).
+    linkCount_ = nodeCount() * 4;
+    mcNodes_ = {
+        nodeAt({0, 0}),
+        nodeAt({cols_ - 1, 0}),
+        nodeAt({0, rows_ - 1}),
+        nodeAt({cols_ - 1, rows_ - 1}),
+    };
+}
+
+bool
+MeshTopology::contains(const Coord &c) const
+{
+    return c.x >= 0 && c.x < cols_ && c.y >= 0 && c.y < rows_;
+}
+
+NodeId
+MeshTopology::nodeAt(const Coord &c) const
+{
+    NDP_CHECK(contains(c), "coord out of mesh: " << c.toString());
+    return c.y * cols_ + c.x;
+}
+
+Coord
+MeshTopology::coordOf(NodeId node) const
+{
+    NDP_CHECK(node >= 0 && node < nodeCount(), "bad node id " << node);
+    return {node % cols_, node / cols_};
+}
+
+std::int32_t
+MeshTopology::distance(NodeId a, NodeId b) const
+{
+    const Coord ca = coordOf(a);
+    const Coord cb = coordOf(b);
+    if (!torus_)
+        return manhattanDistance(ca, cb);
+    const std::int32_t dx = std::abs(ca.x - cb.x);
+    const std::int32_t dy = std::abs(ca.y - cb.y);
+    return std::min(dx, cols_ - dx) + std::min(dy, rows_ - dy);
+}
+
+std::int32_t
+MeshTopology::stepToward(std::int32_t from, std::int32_t to,
+                         std::int32_t extent) const
+{
+    if (from == to)
+        return 0;
+    if (!torus_)
+        return to > from ? 1 : -1;
+    const std::int32_t forward = (to - from + extent) % extent;
+    const std::int32_t backward = extent - forward;
+    return forward <= backward ? 1 : -1;
+}
+
+std::int32_t
+MeshTopology::linkIndex(NodeId from, NodeId to) const
+{
+    const Coord cf = coordOf(from);
+    const Coord ct = coordOf(to);
+    // Direction encoding: 0 = +x, 1 = -x, 2 = +y, 3 = -y; torus wrap
+    // links reuse the direction they logically continue.
+    std::int32_t dir = -1;
+    if (ct.y == cf.y) {
+        if (ct.x == cf.x + 1 || (torus_ && cf.x == cols_ - 1 && ct.x == 0))
+            dir = 0;
+        else if (ct.x == cf.x - 1 ||
+                 (torus_ && cf.x == 0 && ct.x == cols_ - 1))
+            dir = 1;
+    } else if (ct.x == cf.x) {
+        if (ct.y == cf.y + 1 || (torus_ && cf.y == rows_ - 1 && ct.y == 0))
+            dir = 2;
+        else if (ct.y == cf.y - 1 ||
+                 (torus_ && cf.y == 0 && ct.y == rows_ - 1))
+            dir = 3;
+    }
+    NDP_CHECK(dir >= 0, "linkIndex on non-adjacent nodes "
+                            << cf.toString() << " -> " << ct.toString());
+    return from * 4 + dir;
+}
+
+std::vector<std::int32_t>
+MeshTopology::route(NodeId from, NodeId to) const
+{
+    std::vector<std::int32_t> links;
+    const std::vector<NodeId> nodes = routeNodes(from, to);
+    links.reserve(nodes.size() > 0 ? nodes.size() - 1 : 0);
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i)
+        links.push_back(linkIndex(nodes[i], nodes[i + 1]));
+    return links;
+}
+
+std::vector<NodeId>
+MeshTopology::routeNodes(NodeId from, NodeId to) const
+{
+    Coord cur = coordOf(from);
+    const Coord dst = coordOf(to);
+    std::vector<NodeId> nodes;
+    nodes.reserve(static_cast<std::size_t>(distance(from, to)) + 1);
+    nodes.push_back(from);
+    while (cur.x != dst.x) { // X dimension first
+        cur.x = (cur.x + stepToward(cur.x, dst.x, cols_) + cols_) %
+                cols_;
+        nodes.push_back(nodeAt(cur));
+    }
+    while (cur.y != dst.y) { // then Y
+        cur.y = (cur.y + stepToward(cur.y, dst.y, rows_) + rows_) %
+                rows_;
+        nodes.push_back(nodeAt(cur));
+    }
+    return nodes;
+}
+
+QuadrantId
+MeshTopology::quadrantOf(NodeId node) const
+{
+    const Coord c = coordOf(node);
+    const bool right = c.x >= (cols_ + 1) / 2;
+    const bool bottom = c.y >= (rows_ + 1) / 2;
+    return (bottom ? 2 : 0) + (right ? 1 : 0);
+}
+
+NodeId
+MeshTopology::memoryControllerOfQuadrant(QuadrantId q) const
+{
+    NDP_CHECK(q >= 0 && q < 4, "bad quadrant " << q);
+    // mcNodes_ order matches the quadrant encoding: top-left, top-right,
+    // bottom-left, bottom-right.
+    return mcNodes_[static_cast<std::size_t>(q)];
+}
+
+NodeId
+MeshTopology::nearestMemoryController(NodeId node) const
+{
+    NodeId best = mcNodes_.front();
+    std::int32_t best_d = distance(node, best);
+    for (NodeId mc : mcNodes_) {
+        const std::int32_t d = distance(node, mc);
+        if (d < best_d) {
+            best = mc;
+            best_d = d;
+        }
+    }
+    return best;
+}
+
+} // namespace ndp::noc

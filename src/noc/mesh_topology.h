@@ -1,0 +1,121 @@
+#ifndef NDP_NOC_MESH_TOPOLOGY_H
+#define NDP_NOC_MESH_TOPOLOGY_H
+
+/**
+ * @file
+ * The M x N 2D-mesh topology of the target manycore (Figure 1). Each
+ * node holds a core, a private L1, and one bank of the shared SNUCA L2.
+ * Memory controllers sit at the four corner nodes. Messages are routed
+ * with deterministic dimension-ordered (XY) routing, which traverses
+ * exactly ManhattanDistance links.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/coord.h"
+
+namespace ndp::noc {
+
+/**
+ * Identifier of one unidirectional physical link. Links connect
+ * adjacent nodes; the id encodes (source node, direction).
+ */
+struct LinkId
+{
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+
+    bool operator==(const LinkId &other) const = default;
+};
+
+/** Quadrant index (0..3) used by the quadrant / SNC-4 cluster modes. */
+using QuadrantId = std::int32_t;
+
+/**
+ * Rectangular 2D mesh (optionally a torus) with row-major node
+ * numbering.
+ *
+ * The topology is immutable after construction. All routing here is
+ * minimal XY routing: traverse the X dimension first, then Y; the hop
+ * count therefore equals the (wrap-aware) Manhattan distance. The
+ * torus option exercises the paper's claim that the approach works
+ * with any on-chip topology (Section 2).
+ */
+class MeshTopology
+{
+  public:
+    /**
+     * @param cols mesh width (N in the paper's M x N template)
+     * @param rows mesh height
+     * @param torus add wrap-around links in both dimensions
+     */
+    MeshTopology(std::int32_t cols, std::int32_t rows,
+                 bool torus = false);
+
+    bool isTorus() const { return torus_; }
+
+    std::int32_t cols() const { return cols_; }
+    std::int32_t rows() const { return rows_; }
+    std::int32_t nodeCount() const { return cols_ * rows_; }
+
+    /** Dense per-link index space for traffic accounting. */
+    std::int32_t linkCount() const { return linkCount_; }
+
+    bool contains(const Coord &c) const;
+
+    NodeId nodeAt(const Coord &c) const;
+    Coord coordOf(NodeId node) const;
+
+    /** Manhattan distance between two nodes. */
+    std::int32_t distance(NodeId a, NodeId b) const;
+
+    /**
+     * The dense index of the unidirectional link from @p from to the
+     * adjacent node @p to. Used to index TrafficMatrix counters.
+     */
+    std::int32_t linkIndex(NodeId from, NodeId to) const;
+
+    /**
+     * Minimal XY route from @p from to @p to as a sequence of dense link
+     * indices. Empty when from == to.
+     */
+    std::vector<std::int32_t> route(NodeId from, NodeId to) const;
+
+    /** Nodes visited by the XY route, inclusive of both endpoints. */
+    std::vector<NodeId> routeNodes(NodeId from, NodeId to) const;
+
+    /**
+     * The corner nodes hosting the memory controllers (Figure 1):
+     * (0,0), (cols-1,0), (0,rows-1), (cols-1,rows-1).
+     */
+    const std::vector<NodeId> &memoryControllerNodes() const
+    {
+        return mcNodes_;
+    }
+
+    /** Quadrant (0..3) containing @p node, for quadrant/SNC-4 modes. */
+    QuadrantId quadrantOf(NodeId node) const;
+
+    /** The memory-controller node located in quadrant @p q. */
+    NodeId memoryControllerOfQuadrant(QuadrantId q) const;
+
+    /** Nearest memory controller to @p node by Manhattan distance. */
+    NodeId nearestMemoryController(NodeId node) const;
+
+  private:
+    /** Signed minimal step (-1/0/+1) from @p from to @p to, modular
+     *  when the topology is a torus. */
+    std::int32_t stepToward(std::int32_t from, std::int32_t to,
+                            std::int32_t extent) const;
+
+    std::int32_t cols_;
+    std::int32_t rows_;
+    bool torus_;
+    std::int32_t linkCount_;
+    std::vector<NodeId> mcNodes_;
+};
+
+} // namespace ndp::noc
+
+#endif // NDP_NOC_MESH_TOPOLOGY_H

@@ -1,0 +1,58 @@
+#include "noc/noc_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ndp::noc {
+
+NocModel::NocModel(const MeshTopology &mesh, NocParams params)
+    : mesh_(&mesh), params_(params)
+{
+    NDP_REQUIRE(params_.linkCapacity > 0, "link capacity must be positive");
+}
+
+std::int64_t
+NocModel::uncontendedLatency(NodeId from, NodeId to,
+                             std::int64_t flits) const
+{
+    if (from == to)
+        return 0;
+    const std::int64_t hops = mesh_->distance(from, to);
+    return params_.routerCycles + hops * params_.perHopCycles +
+           std::max<std::int64_t>(0, flits - 1) *
+               params_.serializationCycles;
+}
+
+std::int64_t
+NocModel::congestionPenalty(NodeId from, NodeId to,
+                            const TrafficMatrix &traffic) const
+{
+    if (from == to)
+        return 0;
+    double penalty = 0.0;
+    for (std::int32_t link : mesh_->route(from, to)) {
+        const std::int64_t load = traffic.linkLoad(link);
+        const std::int64_t excess = load - params_.linkCapacity;
+        if (excess > 0) {
+            penalty += params_.congestionCyclesPerExcess *
+                       static_cast<double>(excess) /
+                       static_cast<double>(params_.linkCapacity);
+        }
+    }
+    return static_cast<std::int64_t>(std::llround(penalty));
+}
+
+std::int64_t
+NocModel::messageLatency(NodeId from, NodeId to, std::int64_t flits,
+                         const TrafficMatrix &traffic)
+{
+    const std::int64_t cycles = uncontendedLatency(from, to, flits) +
+                                congestionPenalty(from, to, traffic);
+    if (from != to)
+        latency_.add(static_cast<double>(cycles));
+    return cycles;
+}
+
+} // namespace ndp::noc

@@ -1,0 +1,86 @@
+#ifndef NDP_NOC_NOC_MODEL_H
+#define NDP_NOC_NOC_MODEL_H
+
+/**
+ * @file
+ * Latency model for the on-chip network. Section 2 of the paper names
+ * the three factors of network time: number of links, data volume, and
+ * congestion. NocModel turns (route length, flits, link loads) into a
+ * cycle count:
+ *
+ *   latency = router_cycles
+ *           + hops * per_hop_cycles
+ *           + (flits - 1) * serialization_cycles
+ *           + sum over route links of congestion(link)
+ *
+ * congestion(link) = congestion_cycles_per_excess *
+ *                    max(0, load(link) - capacity) / capacity
+ * which grows linearly once a link's recorded traffic exceeds its
+ * nominal capacity. The congestion term is fed by the pass-1
+ * TrafficMatrix, making pass 2 deterministic.
+ */
+
+#include <cstdint>
+
+#include "noc/mesh_topology.h"
+#include "noc/traffic_matrix.h"
+#include "support/stats.h"
+
+namespace ndp::noc {
+
+/** Tunable latency parameters (defaults approximate a KNL-class mesh). */
+struct NocParams
+{
+    /** Fixed router pipeline cost paid once per message. */
+    std::int64_t routerCycles = 2;
+    /** Cycles per link traversal. */
+    std::int64_t perHopCycles = 3;
+    /** Extra cycles per additional flit (serialization). */
+    std::int64_t serializationCycles = 1;
+    /** Nominal per-link capacity in flits before congestion sets in. */
+    std::int64_t linkCapacity = 4096;
+    /** Congestion penalty per unit of excess load ratio, per link. */
+    double congestionCyclesPerExcess = 4.0;
+};
+
+/**
+ * Stateless latency calculator plus streaming latency statistics
+ * (average / maximum message latency, Figure 19's metrics).
+ */
+class NocModel
+{
+  public:
+    NocModel(const MeshTopology &mesh, NocParams params);
+
+    const MeshTopology &mesh() const { return *mesh_; }
+    const NocParams &params() const { return params_; }
+
+    /**
+     * Latency of a @p flits-flit message from @p from to @p to given the
+     * pass-1 traffic in @p traffic. Also records the value into the
+     * latency statistics. A local (from == to) message costs 0.
+     */
+    std::int64_t messageLatency(NodeId from, NodeId to, std::int64_t flits,
+                                const TrafficMatrix &traffic);
+
+    /** Same computation with no congestion input (ideal, pass-1 use). */
+    std::int64_t uncontendedLatency(NodeId from, NodeId to,
+                                    std::int64_t flits) const;
+
+    /** Message latency statistics accumulated so far. */
+    const Accumulator &latencyStats() const { return latency_; }
+
+    void resetStats() { latency_.reset(); }
+
+  private:
+    std::int64_t congestionPenalty(NodeId from, NodeId to,
+                                   const TrafficMatrix &traffic) const;
+
+    const MeshTopology *mesh_;
+    NocParams params_;
+    Accumulator latency_;
+};
+
+} // namespace ndp::noc
+
+#endif // NDP_NOC_NOC_MODEL_H

@@ -1,0 +1,104 @@
+#include "partition/codegen.h"
+
+#include <map>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace ndp::partition {
+
+std::string
+generatePseudoCode(const sim::ExecutionPlan &plan,
+                   const ir::LoopNest &nest,
+                   const ir::ArrayTable &arrays,
+                   std::int64_t first_iteration,
+                   std::int64_t last_iteration)
+{
+    const std::vector<std::string> loop_names = nest.loopNames();
+
+    // Group the covered tasks per node, preserving plan order.
+    std::map<noc::NodeId, std::vector<const sim::Task *>> per_node;
+    for (const sim::Task &task : plan.tasks) {
+        if (task.iterationNumber < first_iteration ||
+            task.iterationNumber > last_iteration)
+            continue;
+        per_node[task.node].push_back(&task);
+    }
+
+    auto temp_name = [](sim::TaskId id) {
+        return "t" + std::to_string(id);
+    };
+    auto access_name = [&](const sim::MemAccess &access) {
+        const ir::ArrayInfo &info = arrays.info(access.array);
+        const std::int64_t elem =
+            static_cast<std::int64_t>(access.addr - info.base) /
+            info.elementSize;
+        return info.name + "[" + std::to_string(elem) + "]";
+    };
+
+    std::ostringstream out;
+    out << "// " << plan.name << ", window size " << plan.windowSize
+        << ", iterations " << first_iteration << ".." << last_iteration
+        << "\n";
+    for (const auto &[node, tasks] : per_node) {
+        out << "node " << node << ":\n";
+        for (const sim::Task *task : tasks) {
+            const ir::Statement &stmt =
+                nest.body()[static_cast<std::size_t>(
+                    task->statementIndex)];
+            // sync() waits for cross-node producers.
+            for (sim::TaskId dep : task->deps) {
+                const sim::Task &producer =
+                    plan.tasks[static_cast<std::size_t>(dep)];
+                if (producer.node != task->node) {
+                    out << "  sync(" << temp_name(dep) << ")  // from node "
+                        << producer.node << "\n";
+                }
+            }
+            out << "  ";
+            if (task->write) {
+                out << access_name(*task->write);
+            } else {
+                out << temp_name(task->id);
+            }
+            out << " = ";
+            bool first = true;
+            std::size_t op_at = 0;
+            auto joiner = [&]() -> std::string {
+                if (first) {
+                    first = false;
+                    return "";
+                }
+                const char *op =
+                    op_at < task->ops.size()
+                        ? ir::toString(task->ops[op_at])
+                        : "+";
+                ++op_at;
+                return std::string(" ") + op + " ";
+            };
+            for (const sim::MemAccess &read : task->reads)
+                out << joiner() << access_name(read);
+            for (sim::TaskId dep : task->deps) {
+                const sim::Task &producer =
+                    plan.tasks[static_cast<std::size_t>(dep)];
+                // Pure ordering deps carry no operand; only children
+                // that produced partial results appear as temporaries.
+                if (producer.statementIndex == task->statementIndex &&
+                    producer.iterationNumber == task->iterationNumber) {
+                    out << joiner() << temp_name(dep);
+                }
+            }
+            if (first) {
+                // Constant-only RHS.
+                out << stmt.rhs().toString(arrays, loop_names);
+            }
+            out << ";";
+            if (task->isSubcomputation)
+                out << "  // offloaded";
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+} // namespace ndp::partition

@@ -1,0 +1,33 @@
+#ifndef NDP_PARTITION_CODEGEN_H
+#define NDP_PARTITION_CODEGEN_H
+
+/**
+ * @file
+ * High-level code generation (Section 4.5, Figure 8): renders the
+ * per-node programs an ExecutionPlan implies as readable pseudo-code —
+ * the subcomputations each node executes, the partial-result
+ * temporaries, and the sync() waits guarding them. Used by the
+ * examples and for debugging schedules; the simulator consumes the
+ * Task form directly.
+ */
+
+#include <string>
+
+#include "ir/statement.h"
+#include "sim/plan.h"
+
+namespace ndp::partition {
+
+/**
+ * Render the slice of @p plan covering iterations
+ * [first_iteration, last_iteration] as Figure-8-style per-node code.
+ */
+std::string generatePseudoCode(const sim::ExecutionPlan &plan,
+                               const ir::LoopNest &nest,
+                               const ir::ArrayTable &arrays,
+                               std::int64_t first_iteration = 0,
+                               std::int64_t last_iteration = 0);
+
+} // namespace ndp::partition
+
+#endif // NDP_PARTITION_CODEGEN_H

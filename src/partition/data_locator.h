@@ -1,0 +1,111 @@
+#ifndef NDP_PARTITION_DATA_LOCATOR_H
+#define NDP_PARTITION_DATA_LOCATOR_H
+
+/**
+ * @file
+ * Data location detection (Section 4.1, Algorithm 1's GetNode). The
+ * location of a datum is, in priority order:
+ *
+ *  1. a node whose L1 already holds it because an earlier
+ *     subcomputation in the window fetched it (the variable2node map);
+ *  2. its SNUCA home L2 bank, when the L2 hit/miss predictor predicts
+ *     a hit;
+ *  3. otherwise the memory controller that owns its page.
+ *
+ * An oracle mode (used by the "ideal data analysis" experiment of
+ * Section 6.4) replaces the predictor with perfect knowledge obtained
+ * by probing the actual cache state.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address.h"
+#include "noc/coord.h"
+#include "sim/manycore.h"
+
+namespace ndp::partition {
+
+/** Where a located datum lives. */
+enum class LocationSource : std::uint8_t
+{
+    L1Copy, ///< present in some node's L1 due to a scheduled subcomp.
+    L2Home, ///< predicted resident in its home L2 bank
+    MemCtrl,///< predicted L2 miss: located at its memory controller
+};
+
+struct Location
+{
+    noc::NodeId node = noc::kInvalidNode;
+    LocationSource source = LocationSource::L2Home;
+};
+
+/**
+ * The compiler-maintained variable2node map (Algorithm 1 line 34):
+ * which nodes will hold each line in their L1s because of
+ * already-scheduled subcomputations in the current window.
+ */
+class VariableToNodeMap
+{
+  public:
+    /**
+     * @param per_node_capacity how many distinct lines one node's L1 is
+     *        trusted to retain within a window; 0 = unlimited. A finite
+     *        capacity models the L1 pollution that makes very large
+     *        windows counter-productive (Section 4.4): once a node's
+     *        budget overflows, its oldest recorded copy is dropped.
+     */
+    explicit VariableToNodeMap(std::size_t per_node_capacity = 0);
+
+    /** Record that @p node's L1 will hold the line of @p addr. */
+    void add(mem::Addr addr, noc::NodeId node);
+
+    /** Nodes holding the line of @p addr (empty if none). */
+    const std::vector<noc::NodeId> &nodesFor(mem::Addr addr) const;
+
+    void clear();
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    void dropOldest(noc::NodeId node);
+
+    std::size_t capacity_;
+    std::unordered_map<std::uint64_t, std::vector<noc::NodeId>> map_;
+    /** Per-node FIFO of the lines recorded for it (oldest first). */
+    std::unordered_map<noc::NodeId, std::vector<std::uint64_t>> fifo_;
+    static const std::vector<noc::NodeId> kEmpty;
+};
+
+/** GetNode: resolve a datum's on-chip location. */
+class DataLocator
+{
+  public:
+    /**
+     * @param system supplies the address map, the miss predictor, and
+     *        (oracle mode only) the true cache state
+     * @param oracle use perfect location knowledge instead of the
+     *        predictor (Section 6.4's ideal data analysis)
+     */
+    DataLocator(sim::ManycoreSystem &system, bool oracle = false);
+
+    /**
+     * Locate the line of @p addr. @p map carries the L1 copies planned
+     * so far in this window; @p prefer_near biases the choice among
+     * multiple L1 copies toward the given node (typically the store
+     * node of the statement being split).
+     */
+    Location locate(mem::Addr addr, const VariableToNodeMap &map,
+                    noc::NodeId prefer_near) const;
+
+    /** Location ignoring L1 copies (used for default-placement costs). */
+    Location locateHome(mem::Addr addr) const;
+
+  private:
+    sim::ManycoreSystem *system_;
+    bool oracle_;
+};
+
+} // namespace ndp::partition
+
+#endif // NDP_PARTITION_DATA_LOCATOR_H

@@ -1,0 +1,103 @@
+#include "partition/load_balancer.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace ndp::partition {
+
+LoadBalancer::LoadBalancer(std::int32_t node_count, double threshold)
+    : load_(static_cast<std::size_t>(node_count), 0),
+      threshold_(threshold)
+{
+    NDP_REQUIRE(node_count > 0, "balancer needs nodes");
+    NDP_REQUIRE(threshold >= 0.0, "negative balance threshold");
+}
+
+std::int64_t
+LoadBalancer::maxLoadExcluding(noc::NodeId node) const
+{
+    std::int64_t best = 0;
+    for (std::size_t n = 0; n < load_.size(); ++n) {
+        if (static_cast<noc::NodeId>(n) != node)
+            best = std::max(best, load_[n]);
+    }
+    return best;
+}
+
+bool
+LoadBalancer::accepts(noc::NodeId node, std::int64_t extra_cost) const
+{
+    NDP_CHECK(node >= 0 &&
+                  static_cast<std::size_t>(node) < load_.size(),
+              "bad node " << node);
+    const std::int64_t mine =
+        load_[static_cast<std::size_t>(node)] + extra_cost;
+    const std::int64_t other_max = maxLoadExcluding(node);
+    if (other_max == 0) {
+        // Nothing has been scheduled elsewhere yet: accept a first
+        // assignment, otherwise every node would veto every other.
+        return load_[static_cast<std::size_t>(node)] == 0;
+    }
+    return static_cast<double>(mine) <=
+           (1.0 + threshold_) * static_cast<double>(other_max);
+}
+
+void
+LoadBalancer::add(noc::NodeId node, std::int64_t cost)
+{
+    NDP_CHECK(node >= 0 &&
+                  static_cast<std::size_t>(node) < load_.size(),
+              "bad node " << node);
+    load_[static_cast<std::size_t>(node)] += cost;
+}
+
+std::int64_t
+LoadBalancer::load(noc::NodeId node) const
+{
+    NDP_CHECK(node >= 0 &&
+                  static_cast<std::size_t>(node) < load_.size(),
+              "bad node " << node);
+    return load_[static_cast<std::size_t>(node)];
+}
+
+std::int64_t
+LoadBalancer::maxLoad() const
+{
+    return *std::max_element(load_.begin(), load_.end());
+}
+
+std::int64_t
+LoadBalancer::totalLoad() const
+{
+    std::int64_t total = 0;
+    for (std::int64_t l : load_)
+        total += l;
+    return total;
+}
+
+double
+LoadBalancer::imbalance() const
+{
+    std::int64_t max_load = 0;
+    std::int64_t min_load = 0;
+    bool first = true;
+    for (std::int64_t l : load_) {
+        if (l == 0)
+            continue;
+        max_load = std::max(max_load, l);
+        min_load = first ? l : std::min(min_load, l);
+        first = false;
+    }
+    if (first || min_load == 0)
+        return 1.0;
+    return static_cast<double>(max_load) / static_cast<double>(min_load);
+}
+
+void
+LoadBalancer::reset()
+{
+    std::fill(load_.begin(), load_.end(), 0);
+}
+
+} // namespace ndp::partition

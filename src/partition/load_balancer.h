@@ -1,0 +1,58 @@
+#ifndef NDP_PARTITION_LOAD_BALANCER_H
+#define NDP_PARTITION_LOAD_BALANCER_H
+
+/**
+ * @file
+ * Load balancing across nodes (Section 4.5): the scheduler assigns a
+ * subcomputation to a node only if doing so keeps that node within a
+ * configurable factor (default 10%) of the most-loaded *other* node.
+ * Costs are abstract operation units with division counted 10x.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/coord.h"
+
+namespace ndp::partition {
+
+class LoadBalancer
+{
+  public:
+    /**
+     * @param node_count mesh nodes
+     * @param threshold allowed excess over the next-most-loaded node
+     *        (0.10 reproduces the paper's 10% default)
+     */
+    explicit LoadBalancer(std::int32_t node_count,
+                          double threshold = 0.10);
+
+    /**
+     * Would adding @p extra_cost to @p node keep the load balanced?
+     * Always true while every other node is still idle and this one
+     * holds no load yet.
+     */
+    bool accepts(noc::NodeId node, std::int64_t extra_cost) const;
+
+    /** Commit @p cost to @p node. */
+    void add(noc::NodeId node, std::int64_t cost);
+
+    std::int64_t load(noc::NodeId node) const;
+    std::int64_t maxLoad() const;
+    std::int64_t totalLoad() const;
+
+    /** Max over min load ratio among nodes with any load (>= 1). */
+    double imbalance() const;
+
+    void reset();
+
+  private:
+    std::int64_t maxLoadExcluding(noc::NodeId node) const;
+
+    std::vector<std::int64_t> load_;
+    double threshold_;
+};
+
+} // namespace ndp::partition
+
+#endif // NDP_PARTITION_LOAD_BALANCER_H

@@ -1,0 +1,138 @@
+#ifndef NDP_PARTITION_PARTITIONER_H
+#define NDP_PARTITION_PARTITIONER_H
+
+/**
+ * @file
+ * The complete NDP-aware subcomputation scheduler (Algorithm 1 plus
+ * Sections 4.3-4.5): windows of consecutive statement instances are
+ * located, split along their MSTs, load-balanced, synchronised, and
+ * emitted as an ExecutionPlan. Window sizes 1..8 are evaluated per loop
+ * nest and the one with the least total data movement is kept
+ * (Section 4.4), unless a fixed size is forced (Figure 20's sweeps).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/dependence.h"
+#include "ir/statement.h"
+#include "partition/data_locator.h"
+#include "sim/engine.h"
+#include "sim/manycore.h"
+#include "support/stats.h"
+
+namespace ndp::partition {
+
+/** Tuning knobs for the partitioner. */
+struct PartitionOptions
+{
+    /** Largest window the adaptive sweep considers (paper: 8). */
+    std::int32_t maxWindowSize = 8;
+    /** Force one window size for every nest; 0 = adaptive sweep. */
+    std::int32_t fixedWindowSize = 0;
+    /** Consult the variable2node map (reuse-aware vs reuse-agnostic). */
+    bool exploitReuse = true;
+    /** Apply the load-balancing veto of Section 4.5. */
+    bool loadBalance = true;
+    double loadBalanceThreshold = 0.10;
+    /** Drop transitively-implied synchronisations. */
+    bool minimizeSyncs = true;
+    /**
+     * Ideal data analysis (Section 6.4): perfect locations and perfect
+     * disambiguation of indirect references.
+     */
+    bool oracle = false;
+    /**
+     * Lines one node's L1 is trusted to retain within a window (the
+     * pollution model of Section 4.4); 0 derives it from the L1 size.
+     */
+    std::size_t reuseCapacityLines = 0;
+    /**
+     * Cost-model weight converting saved flit-hops into saved stall
+     * cycles when deciding whether a split pays for its task-issue and
+     * synchronisation overheads.
+     */
+    double latencyPerFlitHop = 1.0;
+    /**
+     * Safety multiplier on the estimated split overhead: > 1 makes the
+     * planner more conservative, 0 disables the profitability guard
+     * entirely (split whenever movement improves, as the paper's
+     * Algorithm 1 does unconditionally).
+     */
+    double overheadSafetyFactor = 0.6;
+    /**
+     * Profiled node utilisation of the default execution
+     * (busy / (makespan * nodes)). On a tightly packed machine sync
+     * waits cannot hide in idle gaps, so split overhead counts in
+     * full; on a stall-ridden one it largely overlaps. Supplied by the
+     * driver from the profiling run.
+     */
+    double profileUtilization = 0.5;
+};
+
+/** Aggregates the planner produces for the paper's figures. */
+struct PartitionReport
+{
+    std::int32_t chosenWindowSize = 1;
+    /** Per-instance % movement reduction vs default (Figure 13). */
+    Accumulator movementReductionPct;
+    /** Per-instance degree of parallelism (Figure 14). */
+    Accumulator degreeOfParallelism;
+    /** Per-instance syncs after minimisation (Figure 15). */
+    Accumulator syncsPerStatement;
+    /** Per-instance syncs before minimisation. */
+    Accumulator rawSyncsPerStatement;
+    std::int64_t plannedMovement = 0;
+    std::int64_t defaultMovement = 0;
+    /** Offloaded (re-mapped) operator counts by category (Table 3). */
+    std::int64_t offloadedOps[3] = {0, 0, 0};
+    std::int64_t offloadedSubcomputations = 0;
+    std::int64_t statementsSplit = 0;
+    std::int64_t statementsKeptDefault = 0;
+    /** Total planned movement for every window size probed (Fig 20). */
+    std::vector<std::int64_t> movementPerWindowSize;
+};
+
+/** Produces the optimized ExecutionPlan for a loop nest. */
+class Partitioner
+{
+  public:
+    /**
+     * @param system provides the mesh, address map, and miss predictor
+     *        (which should have been trained by a profiling run)
+     * @param arrays the program's array table (with any inspector-
+     *        collected index data installed)
+     */
+    Partitioner(sim::ManycoreSystem &system, const ir::ArrayTable &arrays,
+                PartitionOptions options = {});
+
+    /**
+     * Plan @p nest.
+     * @param default_nodes baseline (iteration -> node) assignment, in
+     *        lexicographic iteration order; used for the movement
+     *        comparison and as the fallback placement for statements
+     *        whose references cannot be analysed
+     */
+    sim::ExecutionPlan plan(const ir::LoopNest &nest,
+                            const std::vector<noc::NodeId> &default_nodes);
+
+    /** Report for the most recent plan() call. */
+    const PartitionReport &report() const { return report_; }
+
+  private:
+    struct PlanBuild; // one window-size attempt (defined in .cc)
+
+    sim::ExecutionPlan planWithWindow(
+        const ir::LoopNest &nest,
+        const std::vector<noc::NodeId> &default_nodes,
+        std::int32_t window_size, PartitionReport &report) const;
+
+    sim::ManycoreSystem *system_;
+    const ir::ArrayTable *arrays_;
+    PartitionOptions options_;
+    PartitionReport report_;
+};
+
+} // namespace ndp::partition
+
+#endif // NDP_PARTITION_PARTITIONER_H

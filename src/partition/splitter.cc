@@ -1,0 +1,324 @@
+#include "partition/splitter.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/disjoint_set.h"
+#include "support/error.h"
+
+namespace ndp::partition {
+
+StatementSplitter::StatementSplitter(const noc::MeshTopology &mesh,
+                                     std::int64_t fetch_weight,
+                                     std::int64_t result_weight)
+    : mesh_(&mesh), fetchWeight_(fetch_weight),
+      resultWeight_(result_weight)
+{
+    NDP_REQUIRE(fetch_weight > 0 && result_weight > 0,
+                "movement weights must be positive");
+}
+
+SplitResult
+StatementSplitter::split(const ir::VarSet &sets,
+                         const std::vector<Location> &leaf_locations,
+                         noc::NodeId store_node, LoadBalancer *balancer)
+{
+    NDP_CHECK(store_node >= 0 && store_node < mesh_->nodeCount(),
+              "bad store node " << store_node);
+    SplitResult result;
+    splitSet(sets, leaf_locations, store_node, /*outermost=*/true,
+             balancer, result);
+    NDP_CHECK(result.root >= 0, "split produced no root subcomputation");
+
+    std::int32_t starters = 0;
+    for (const Subcomputation &sub : result.subs) {
+        if (sub.children.empty())
+            ++starters;
+        for (int child : sub.children) {
+            if (result.subs[static_cast<std::size_t>(child)].node !=
+                sub.node) {
+                ++result.crossNodeEdges;
+            }
+        }
+    }
+    result.degreeOfParallelism = std::max(starters, 1);
+    return result;
+}
+
+StatementSplitter::Item
+StatementSplitter::splitSet(const ir::VarSet &set,
+                            const std::vector<Location> &leaf_locations,
+                            noc::NodeId store_node, bool outermost,
+                            LoadBalancer *balancer, SplitResult &result)
+{
+    // ---- 1. Materialise the set's elements as located items. ----
+    std::vector<Item> items;
+    items.reserve(set.elems.size());
+    for (const ir::VarSet::Elem &elem : set.elems) {
+        Item item;
+        item.op = elem.op;
+        if (elem.isLeaf()) {
+            NDP_CHECK(static_cast<std::size_t>(elem.leaf) <
+                          leaf_locations.size(),
+                      "leaf index out of range");
+            item.leaf = elem.leaf;
+            item.node =
+                leaf_locations[static_cast<std::size_t>(elem.leaf)].node;
+        } else {
+            item = splitSet(*elem.sub, leaf_locations, store_node,
+                            /*outermost=*/false, balancer, result);
+            item.op = elem.op;
+            if (item.node == noc::kInvalidNode)
+                continue; // all-constant subset: nothing to place
+        }
+        items.push_back(item);
+    }
+
+    // ---- 2. Group items by node into graph vertices. ----
+    struct Vertex
+    {
+        noc::NodeId node = noc::kInvalidNode;
+        std::vector<Item> items;
+    };
+    std::map<noc::NodeId, std::size_t> vertex_of_node;
+    std::vector<Vertex> vertices;
+    auto vertex_for = [&](noc::NodeId node) -> std::size_t {
+        const auto it = vertex_of_node.find(node);
+        if (it != vertex_of_node.end())
+            return it->second;
+        vertex_of_node.emplace(node, vertices.size());
+        vertices.push_back({node, {}});
+        return vertices.size() - 1;
+    };
+    for (Item &item : items)
+        vertices[vertex_for(item.node)].items.push_back(item);
+    if (outermost)
+        vertex_for(store_node); // the store node always joins the MST
+
+    if (vertices.empty()) {
+        // Pure-constant (sub)expression: no located data at all.
+        if (!outermost)
+            return Item{};
+        vertex_for(store_node);
+    }
+
+    // Helper: emit one subcomputation merging @p inputs at @p at_node.
+    auto emit_sub = [&](noc::NodeId at_node,
+                        const std::vector<Item> &inputs,
+                        bool is_root) -> int {
+        Subcomputation sub;
+        sub.node = at_node;
+        sub.isRoot = is_root;
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const Item &in = inputs[i];
+            if (in.leaf >= 0) {
+                sub.leaves.push_back(in.leaf);
+            } else if (in.sub >= 0) {
+                sub.children.push_back(in.sub);
+            }
+            if (i > 0) {
+                sub.ops.push_back(in.op);
+                sub.opCost += ir::opCost(in.op);
+            }
+        }
+        // Load balancing: if the merge node is over-loaded, slide the
+        // work to the least-loaded input node that accepts it; the
+        // result then pays one extra trip back (Section 4.5).
+        noc::NodeId chosen = at_node;
+        if (balancer && sub.opCost > 0 && !is_root &&
+            !balancer->accepts(at_node, sub.opCost)) {
+            noc::NodeId best = noc::kInvalidNode;
+            std::int64_t best_load = 0;
+            for (const Item &in : inputs) {
+                if (in.node == at_node || in.node == noc::kInvalidNode)
+                    continue;
+                if (!balancer->accepts(in.node, sub.opCost))
+                    continue;
+                const std::int64_t l = balancer->load(in.node);
+                if (best == noc::kInvalidNode || l < best_load ||
+                    (l == best_load && in.node < best)) {
+                    best = in.node;
+                    best_load = l;
+                }
+            }
+            if (best != noc::kInvalidNode) {
+                chosen = best;
+                result.plannedMovement +=
+                    resultWeight_ * mesh_->distance(best, at_node);
+            }
+        }
+        sub.node = chosen;
+        if (balancer && sub.opCost > 0)
+            balancer->add(chosen, sub.opCost);
+        result.subs.push_back(std::move(sub));
+        const int idx = static_cast<int>(result.subs.size()) - 1;
+        if (is_root) {
+            result.root = idx;
+            result.subs[static_cast<std::size_t>(idx)].isRoot = true;
+        }
+        return idx;
+    };
+
+    // ---- 3. Single-vertex fast path (everything already colocated).
+    if (vertices.size() == 1) {
+        Vertex &v = vertices.front();
+        if (outermost) {
+            emit_sub(store_node, v.items, /*is_root=*/true);
+            return Item{};
+        }
+        if (v.items.size() == 1)
+            return v.items.front();
+        const int idx = emit_sub(v.node, v.items, false);
+        Item out;
+        out.node = v.node;
+        out.sub = idx;
+        return out;
+    }
+
+    // ---- 4. Kruskal's algorithm over the complete vertex graph. ----
+    struct Edge
+    {
+        std::int32_t weight;
+        std::size_t a;
+        std::size_t b;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(vertices.size() * (vertices.size() - 1) / 2);
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+            edges.push_back(
+                {mesh_->distance(vertices[i].node, vertices[j].node), i,
+                 j});
+        }
+    }
+    // Equal-weight edges tie-break toward the store vertex first (a
+    // shallower tree rooted at the store gives more subcomputation
+    // parallelism at identical movement), then on node ids for
+    // determinism — a refinement of the paper's random pick.
+    const bool have_store_vertex =
+        outermost && vertex_of_node.count(store_node) != 0;
+    const std::size_t store_vertex =
+        have_store_vertex ? vertex_of_node.at(store_node) : SIZE_MAX;
+    std::sort(edges.begin(), edges.end(), [&](const Edge &x,
+                                              const Edge &y) {
+        if (x.weight != y.weight)
+            return x.weight < y.weight;
+        const bool xs = x.a == store_vertex || x.b == store_vertex;
+        const bool ys = y.a == store_vertex || y.b == store_vertex;
+        if (xs != ys)
+            return xs;
+        if (vertices[x.a].node != vertices[y.a].node)
+            return vertices[x.a].node < vertices[y.a].node;
+        return vertices[x.b].node < vertices[y.b].node;
+    });
+
+    DisjointSet forest(vertices.size());
+    std::vector<std::vector<std::size_t>> adjacency(vertices.size());
+    for (const Edge &e : edges) {
+        if (forest.unite(e.a, e.b)) {
+            adjacency[e.a].push_back(e.b);
+            adjacency[e.b].push_back(e.a);
+            result.edges.push_back(
+                {vertices[e.a].node, vertices[e.b].node, e.weight});
+        }
+    }
+
+    // ---- 5. Pick the tree root. ----
+    std::size_t root_vertex = 0;
+    if (outermost) {
+        root_vertex = vertex_of_node.at(store_node);
+    } else {
+        std::int32_t best = mesh_->distance(vertices[0].node, store_node);
+        for (std::size_t i = 1; i < vertices.size(); ++i) {
+            const std::int32_t d =
+                mesh_->distance(vertices[i].node, store_node);
+            if (d < best ||
+                (d == best && vertices[i].node < vertices[root_vertex].node)) {
+                best = d;
+                root_vertex = i;
+            }
+        }
+    }
+
+    // ---- 6. Post-order walk: leaves flow toward the root, one
+    // subcomputation per merge point (Section 4.3). Iterative to keep
+    // stack use bounded.
+    std::vector<Item> vertex_result(vertices.size());
+    std::vector<std::size_t> parent(vertices.size(), SIZE_MAX);
+    std::vector<std::size_t> order; // pre-order; reversed = post-order
+    order.reserve(vertices.size());
+    order.push_back(root_vertex);
+    parent[root_vertex] = root_vertex;
+    for (std::size_t at = 0; at < order.size(); ++at) {
+        const std::size_t v = order[at];
+        for (std::size_t next : adjacency[v]) {
+            if (parent[next] == SIZE_MAX) {
+                parent[next] = v;
+                order.push_back(next);
+            }
+        }
+    }
+    NDP_CHECK(order.size() == vertices.size(),
+              "MST did not span all vertices");
+
+    for (std::size_t at = order.size(); at-- > 0;) {
+        const std::size_t v = order[at];
+        std::vector<Item> inputs = vertices[v].items;
+        for (std::size_t c : adjacency[v]) {
+            if (parent[c] != v || c == v)
+                continue;
+            const Item &in = vertex_result[c];
+            if (in.node == noc::kInvalidNode)
+                continue;
+            // The child's value crosses the MST edge exactly once:
+            // a full line when a lone operand is fetched, a single
+            // element when a subcomputation forwards its result
+            // (Equation 1 weights movement by data size).
+            const std::int64_t weight =
+                in.leaf >= 0 ? fetchWeight_ : resultWeight_;
+            result.plannedMovement +=
+                weight * mesh_->distance(vertices[c].node,
+                                         vertices[v].node);
+            inputs.push_back(in);
+        }
+        const bool is_root_vertex = (v == root_vertex);
+        if (is_root_vertex && outermost) {
+            emit_sub(store_node, inputs, /*is_root=*/true);
+            continue;
+        }
+        if (inputs.empty()) {
+            vertex_result[v] = Item{};
+        } else if (inputs.size() == 1 && inputs.front().leaf >= 0) {
+            // A lone operand about to cross an MST edge: read it here
+            // — where it lives (its home bank or a planned L1 copy) —
+            // and forward the *value*. Shipping one element instead of
+            // pulling a full line to the consumer is the essence of
+            // bringing computation to data; it also realises the L1
+            // reuse the variable2node map planned (Section 4.3).
+            const int idx = emit_sub(vertices[v].node, inputs, false);
+            Item out;
+            out.node = vertices[v].node;
+            out.sub = idx;
+            out.op = inputs.front().op;
+            vertex_result[v] = out;
+        } else if (inputs.size() == 1) {
+            // Pass-through of an already-forwarded partial result.
+            Item out = inputs.front();
+            out.node = vertices[v].node;
+            vertex_result[v] = out;
+        } else {
+            const int idx = emit_sub(vertices[v].node, inputs, false);
+            Item out;
+            out.node =
+                result.subs[static_cast<std::size_t>(idx)].node;
+            out.sub = idx;
+            vertex_result[v] = out;
+        }
+    }
+
+    if (outermost)
+        return Item{};
+    return vertex_result[root_vertex];
+}
+
+} // namespace ndp::partition

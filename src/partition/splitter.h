@@ -1,0 +1,125 @@
+#ifndef NDP_PARTITION_SPLITTER_H
+#define NDP_PARTITION_SPLITTER_H
+
+/**
+ * @file
+ * Single-statement splitting (Section 4.2, Algorithm 1): build a
+ * complete graph over the distinct nodes holding a statement's
+ * operands, run Kruskal's algorithm to obtain the MST that minimises
+ * total data movement, and walk the tree from its leaves toward the
+ * store node, placing one subcomputation at every merge point
+ * (Section 4.3). Nested variable sets are processed innermost-first;
+ * a processed set joins the next level as a single component rooted at
+ * the node where its result materialised.
+ *
+ * Load balancing (Section 4.5): when the balancer vetoes a merge node,
+ * the merge slides to the other endpoint of its MST edge at the cost
+ * of one extra edge traversal — preserving correctness while trading a
+ * little movement for balance, exactly the knob the paper describes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/nested_sets.h"
+#include "noc/mesh_topology.h"
+#include "partition/data_locator.h"
+#include "partition/load_balancer.h"
+
+namespace ndp::partition {
+
+/** One MST edge (introspection and the paper's worked examples). */
+struct MstEdge
+{
+    noc::NodeId a = noc::kInvalidNode;
+    noc::NodeId b = noc::kInvalidNode;
+    std::int32_t weight = 0;
+};
+
+/** One subcomputation: a merge executed at one node. */
+struct Subcomputation
+{
+    noc::NodeId node = noc::kInvalidNode;
+    /** Leaf operand indices (into Statement::reads()) consumed here. */
+    std::vector<int> leaves;
+    /** Indices of child subcomputations whose results merge here. */
+    std::vector<int> children;
+    /** Operators executed here. */
+    std::vector<ir::OpKind> ops;
+    /** Load-balancing cost of those operators. */
+    std::int64_t opCost = 0;
+    /** Whether this subcomputation holds the final store. */
+    bool isRoot = false;
+};
+
+/** Result of splitting one statement instance. */
+struct SplitResult
+{
+    /** Subcomputations, children always preceding parents. */
+    std::vector<Subcomputation> subs;
+    /** Index of the root subcomputation (at the store node). */
+    int root = -1;
+    /** Planned Equation-1 data movement (link traversals). */
+    std::int64_t plannedMovement = 0;
+    /** Subcomputations with no children: they start in parallel. */
+    std::int32_t degreeOfParallelism = 1;
+    /** Cross-node parent-child edges = point-to-point syncs needed. */
+    std::int32_t crossNodeEdges = 0;
+    /** All MST edges chosen, every level combined. */
+    std::vector<MstEdge> edges;
+};
+
+/** Splits statements along their nested-set MSTs. */
+class StatementSplitter
+{
+  public:
+    /**
+     * @param fetch_weight flits moved per operand fetch crossing an
+     *        MST edge (a full cache line)
+     * @param result_weight flits per partial-result message (one
+     *        element) — Equation 1 weights movement by data size
+     */
+    explicit StatementSplitter(const noc::MeshTopology &mesh,
+                               std::int64_t fetch_weight = 8,
+                               std::int64_t result_weight = 1);
+
+    /**
+     * Split one statement instance.
+     * @param sets nested variable sets of the statement (leaf indices
+     *        refer to positions in @p leaf_locations)
+     * @param leaf_locations located node of every RHS leaf operand
+     * @param store_node the home node of the statement's output, where
+     *        the final result must be produced and stored
+     * @param balancer optional load balancer consulted (and updated)
+     *        for every merge; null disables the balancing veto. The
+     *        caller may pass a trial copy and commit it only if the
+     *        split is kept.
+     */
+    SplitResult split(const ir::VarSet &sets,
+                      const std::vector<Location> &leaf_locations,
+                      noc::NodeId store_node,
+                      LoadBalancer *balancer = nullptr);
+
+  private:
+    struct Item
+    {
+        noc::NodeId node = noc::kInvalidNode;
+        int leaf = -1; ///< leaf operand index, or
+        int sub = -1;  ///< producing subcomputation index
+        ir::OpKind op = ir::OpKind::Add;
+    };
+
+    /** Process one set level; returns the item representing its result. */
+    Item splitSet(const ir::VarSet &set,
+                  const std::vector<Location> &leaf_locations,
+                  noc::NodeId store_node, bool outermost,
+                  LoadBalancer *balancer, SplitResult &result);
+
+    const noc::MeshTopology *mesh_;
+    std::int64_t fetchWeight_;
+    std::int64_t resultWeight_;
+};
+
+} // namespace ndp::partition
+
+#endif // NDP_PARTITION_SPLITTER_H

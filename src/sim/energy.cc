@@ -1,0 +1,25 @@
+#include "sim/energy.h"
+
+namespace ndp::sim {
+
+EnergyBreakdown
+computeEnergy(const EnergyEvents &events, const EnergyParams &params)
+{
+    EnergyBreakdown out;
+    out.compute =
+        params.aluPerOpUnit * static_cast<double>(events.opUnits);
+    out.l1 = params.l1Access * static_cast<double>(events.l1Accesses);
+    out.l2 = params.l2Access * static_cast<double>(events.l2Accesses);
+    out.network =
+        params.linkPerFlitHop * static_cast<double>(events.flitHops);
+    out.memory =
+        params.mcdramAccess * static_cast<double>(events.mcdramAccesses) +
+        params.ddrAccess * static_cast<double>(events.ddrAccesses);
+    out.sync = params.syncOperation * static_cast<double>(events.syncs);
+    out.staticLeakage = params.staticPerNodeCycle *
+                        static_cast<double>(events.nodeCount) *
+                        static_cast<double>(events.makespanCycles);
+    return out;
+}
+
+} // namespace ndp::sim

@@ -1,0 +1,69 @@
+#ifndef NDP_SIM_ENERGY_H
+#define NDP_SIM_ENERGY_H
+
+/**
+ * @file
+ * Event-based energy model standing in for the paper's CACTI/McPAT
+ * numbers (Section 6.6, Figure 24). Per-event energies are in
+ * picojoules; the absolute values are representative constants for a
+ * 14nm manycore, but only *relative* energy between schemes matters for
+ * the reproduced figure.
+ */
+
+#include <cstdint>
+
+namespace ndp::sim {
+
+/** Per-event energy constants (picojoules). */
+struct EnergyParams
+{
+    double aluPerOpUnit = 2.0;      ///< per abstract op-cost unit
+    double l1Access = 1.2;
+    double l2Access = 6.0;
+    double linkPerFlitHop = 0.9;    ///< per flit per link traversed
+    double mcdramAccess = 40.0;
+    double ddrAccess = 85.0;
+    double syncOperation = 5.0;
+    double staticPerNodeCycle = 0.05; ///< leakage per node per cycle
+};
+
+/** Component totals (picojoules). */
+struct EnergyBreakdown
+{
+    double compute = 0.0;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double network = 0.0;
+    double memory = 0.0;
+    double sync = 0.0;
+    double staticLeakage = 0.0;
+
+    double
+    total() const
+    {
+        return compute + l1 + l2 + network + memory + sync +
+               staticLeakage;
+    }
+};
+
+/** Raw event counts the engine feeds to the model. */
+struct EnergyEvents
+{
+    std::int64_t opUnits = 0;
+    std::int64_t l1Accesses = 0;
+    std::int64_t l2Accesses = 0;
+    std::int64_t flitHops = 0;
+    std::int64_t mcdramAccesses = 0;
+    std::int64_t ddrAccesses = 0;
+    std::int64_t syncs = 0;
+    std::int64_t nodeCount = 0;
+    std::int64_t makespanCycles = 0;
+};
+
+/** Apply @p params to @p events. */
+EnergyBreakdown computeEnergy(const EnergyEvents &events,
+                              const EnergyParams &params);
+
+} // namespace ndp::sim
+
+#endif // NDP_SIM_ENERGY_H

@@ -1,0 +1,272 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ndp::sim {
+
+ExecutionEngine::ExecutionEngine(ManycoreSystem &system,
+                                 EnergyParams energy_params)
+    : system_(&system), energyParams_(energy_params)
+{
+}
+
+SimResult
+ExecutionEngine::run(const ExecutionPlan &plan, const EngineOptions &opts)
+{
+    ManycoreSystem &sys = *system_;
+    const ManycoreConfig &cfg = sys.config();
+    sys.reset();
+
+    // ---- Warm-up: earlier trips of the outer timing loop. Cache and
+    // predictor state persists; statistics and traffic are discarded.
+    for (std::int32_t w = 0; w < opts.warmupPasses; ++w) {
+        for (const Task &task : plan.tasks) {
+            for (const MemAccess &read : task.reads)
+                sys.walkRead(task.node, read);
+            if (task.write)
+                sys.walkWrite(task.node, *task.write);
+        }
+    }
+    if (opts.warmupPasses > 0)
+        sys.resetMeasurement();
+
+    // ---- Pass 1: warm caches, record traffic and queue pressure. ----
+    std::vector<std::vector<AccessRecord>> records(plan.tasks.size());
+    std::int64_t mcdram_accesses = 0;
+    std::int64_t ddr_accesses = 0;
+    for (std::size_t t = 0; t < plan.tasks.size(); ++t) {
+        const Task &task = plan.tasks[t];
+        NDP_CHECK(task.node >= 0 && task.node < sys.mesh().nodeCount(),
+                  "task " << task.id << " scheduled on bad node");
+        auto &recs = records[t];
+        recs.reserve(task.reads.size() + 1);
+        for (const MemAccess &read : task.reads) {
+            AccessRecord rec = sys.walkRead(task.node, read);
+            if (rec.level == AccessLevel::Memory) {
+                if (rec.memKind == mem::MemoryKind::Mcdram)
+                    ++mcdram_accesses;
+                else
+                    ++ddr_accesses;
+            }
+            recs.push_back(rec);
+        }
+        if (task.write)
+            recs.push_back(sys.walkWrite(task.node, *task.write));
+        for (TaskId dep : task.deps) {
+            NDP_CHECK(dep >= 0 && static_cast<std::size_t>(dep) < t + 1,
+                      "dep " << dep << " does not precede task "
+                             << task.id);
+            const Task &producer = plan.tasks[static_cast<std::size_t>(dep)];
+            sys.recordResultMessage(producer.node, task.node,
+                                    producer.resultBytes);
+        }
+    }
+
+    const mem::CacheStats l1_after_pass1 = sys.l1Stats();
+    const double natural_hit_rate = l1_after_pass1.hitRate();
+
+    // ---- Pass 2: price the plan with ready-list scheduling. ----
+    // Each node runs one task at a time; among the tasks whose
+    // producers have finished, the earliest-startable runs first. This
+    // lets independent subcomputations from other statements fill a
+    // node's wait gaps — the subcomputation-level parallelism the
+    // paper exploits (Section 4.5).
+    SimResult result;
+    result.taskCount = static_cast<std::int64_t>(plan.tasks.size());
+
+    if (opts.trace)
+        opts.trace->clear();
+    Rng rng(opts.seed);
+    std::vector<std::int64_t> node_clock(
+        static_cast<std::size_t>(sys.mesh().nodeCount()), 0);
+    std::vector<std::int64_t> finish(plan.tasks.size(), 0);
+    std::vector<std::int64_t> ready(plan.tasks.size(), 0);
+    std::vector<std::int32_t> pending(plan.tasks.size(), 0);
+    std::vector<std::vector<TaskId>> consumers(plan.tasks.size());
+
+    const double net_scale = opts.idealNetwork ? 0.0 : opts.networkScale;
+
+    for (std::size_t t = 0; t < plan.tasks.size(); ++t) {
+        const Task &task = plan.tasks[t];
+        pending[t] = static_cast<std::int32_t>(task.deps.size());
+        for (TaskId dep : task.deps) {
+            consumers[static_cast<std::size_t>(dep)].push_back(
+                static_cast<TaskId>(t));
+        }
+    }
+
+    // Min-heap of (estimated start, task); lazily re-pushed when the
+    // estimate was stale.
+    using HeapEntry = std::pair<std::int64_t, TaskId>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> heap;
+    for (std::size_t t = 0; t < plan.tasks.size(); ++t) {
+        if (pending[t] == 0)
+            heap.push({0, static_cast<TaskId>(t)});
+    }
+
+    // Price one task's memory stalls and compute.
+    auto busy_cycles = [&](std::size_t t) -> std::int64_t {
+        const Task &task = plan.tasks[t];
+        const double natural_hit_rate_local = natural_hit_rate;
+        std::int64_t stall_core = 0;
+        std::int64_t stall_net = 0;
+        std::int64_t stall_mem = 0;
+        for (const AccessRecord &rec_in : records[t]) {
+            AccessRecord rec = rec_in;
+            // S1: enforce a donor L1 hit/miss profile by converting
+            // outcomes until the target rate is met in expectation.
+            if (opts.l1HitRateOverride >= 0.0 && !rec.isWrite) {
+                const double target = opts.l1HitRateOverride;
+                if (target > natural_hit_rate_local &&
+                    rec.level != AccessLevel::L1) {
+                    const double p =
+                        (target - natural_hit_rate_local) /
+                        std::max(1e-9, 1.0 - natural_hit_rate_local);
+                    if (rng.nextBool(p))
+                        rec.level = AccessLevel::L1;
+                } else if (target < natural_hit_rate_local &&
+                           rec.level == AccessLevel::L1) {
+                    const double p =
+                        (natural_hit_rate_local - target) /
+                        std::max(1e-9, natural_hit_rate_local);
+                    if (rng.nextBool(p)) {
+                        rec.level = AccessLevel::L2;
+                        rec.home =
+                            sys.addressMap().homeBankNode(rec.addr);
+                    }
+                }
+            }
+            const ManycoreSystem::LatencyParts parts =
+                sys.accessLatency(rec);
+            stall_core += parts.core;
+            stall_net += static_cast<std::int64_t>(std::llround(
+                static_cast<double>(parts.network) * net_scale));
+            stall_mem += parts.memory;
+        }
+
+        std::int64_t compute =
+            task.computeCost * cfg.computeCyclesPerOpUnit;
+        if (opts.parallelismSpeedup > 1.0) {
+            compute = static_cast<std::int64_t>(
+                std::llround(static_cast<double>(compute) /
+                             opts.parallelismSpeedup));
+        }
+        // Message-handling work: receiving each cross-node partial
+        // result and sending one to each cross-node consumer costs
+        // core cycles, so communication is never free even when its
+        // network latency hides.
+        std::int64_t messaging = 0;
+        for (TaskId dep : task.deps) {
+            if (plan.tasks[static_cast<std::size_t>(dep)].node !=
+                task.node)
+                messaging += cfg.recvCycles;
+        }
+        for (TaskId c : consumers[t]) {
+            if (plan.tasks[static_cast<std::size_t>(c)].node !=
+                task.node)
+                messaging += cfg.sendCycles;
+        }
+        result.computeCycles += compute;
+        result.networkStallCycles += stall_net;
+        result.memoryStallCycles += stall_mem;
+        return cfg.perTaskOverheadCycles + stall_core + stall_net +
+               stall_mem + compute + messaging;
+    };
+
+    std::size_t executed = 0;
+    while (!heap.empty()) {
+        const auto [est, tid] = heap.top();
+        heap.pop();
+        const auto t = static_cast<std::size_t>(tid);
+        const Task &task = plan.tasks[t];
+        const auto node = static_cast<std::size_t>(task.node);
+        const std::int64_t start =
+            std::max(node_clock[node], ready[t]);
+        if (start > est) {
+            heap.push({start, tid}); // stale estimate; retry later
+            continue;
+        }
+        if (ready[t] > node_clock[node])
+            result.syncWaitCycles += ready[t] - node_clock[node];
+
+        const std::int64_t busy = busy_cycles(t);
+        finish[t] = start + busy;
+        const std::int64_t waited =
+            std::max<std::int64_t>(0, ready[t] - node_clock[node]);
+        node_clock[node] = finish[t];
+        result.totalBusyCycles += busy;
+        ++executed;
+        if (opts.trace) {
+            opts.trace->record(tid, task.node, start, finish[t],
+                               waited, task.isSubcomputation);
+        }
+
+        for (TaskId c : consumers[t]) {
+            const auto ci = static_cast<std::size_t>(c);
+            const Task &consumer = plan.tasks[ci];
+            std::int64_t arrival = finish[t];
+            if (task.node != consumer.node) {
+                const std::int64_t net = sys.resultMessageLatency(
+                    task.node, consumer.node, task.resultBytes);
+                arrival += static_cast<std::int64_t>(std::llround(
+                    static_cast<double>(net) * net_scale));
+                arrival += cfg.syncOverheadCycles;
+                ++result.syncCount;
+            }
+            ready[ci] = std::max(ready[ci], arrival);
+            if (--pending[ci] == 0) {
+                heap.push({std::max(ready[ci],
+                                    node_clock[static_cast<std::size_t>(
+                                        consumer.node)]),
+                           c});
+            }
+        }
+    }
+    NDP_CHECK(executed == plan.tasks.size(),
+              "dependence cycle: executed " << executed << " of "
+                                            << plan.tasks.size());
+
+    for (std::int64_t clock : node_clock)
+        result.makespanCycles = std::max(result.makespanCycles, clock);
+
+    // S4: injected synchronisations serialise on the busiest node.
+    if (opts.extraSyncs > 0) {
+        result.syncCount += opts.extraSyncs;
+        const std::int64_t penalty =
+            opts.extraSyncs * cfg.syncOverheadCycles /
+            std::max<std::int64_t>(1, sys.mesh().nodeCount());
+        result.makespanCycles += penalty;
+        result.syncWaitCycles += penalty;
+    }
+
+    // ---- Metrics. ----
+    result.dataMovementFlitHops = sys.traffic().totalFlitHops();
+    result.networkMessages = sys.traffic().messageCount();
+    result.avgNetworkLatency = sys.nocModel().latencyStats().mean();
+    result.maxNetworkLatency = sys.nocModel().latencyStats().max();
+    result.l1 = sys.l1Stats();
+    result.l2 = sys.l2Stats();
+
+    EnergyEvents events;
+    for (const Task &task : plan.tasks)
+        events.opUnits += task.computeCost;
+    events.l1Accesses = result.l1.accesses();
+    events.l2Accesses = result.l2.accesses();
+    events.flitHops = result.dataMovementFlitHops;
+    events.mcdramAccesses = mcdram_accesses;
+    events.ddrAccesses = ddr_accesses;
+    events.syncs = result.syncCount;
+    events.nodeCount = sys.mesh().nodeCount();
+    events.makespanCycles = result.makespanCycles;
+    result.energy = computeEnergy(events, energyParams_);
+
+    return result;
+}
+
+} // namespace ndp::sim

@@ -1,0 +1,113 @@
+#ifndef NDP_SIM_ENGINE_H
+#define NDP_SIM_ENGINE_H
+
+/**
+ * @file
+ * Deterministic two-pass execution engine.
+ *
+ * Pass 1 walks every task's memory accesses through the cache hierarchy
+ * (warming caches and recording per-link traffic). Pass 2 replays the
+ * plan against per-node clocks: a task starts when its node is free and
+ * all producer results have arrived (each cross-node arrival is one
+ * point-to-point synchronisation); it then stalls for its access
+ * latencies and computes. The makespan is the latest finish time.
+ *
+ * EngineOptions exposes the isolation knobs of Figure 18 (S1..S4) and
+ * the ideal-network mode of Section 6.4.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.h"
+#include "sim/energy.h"
+#include "sim/manycore.h"
+#include "sim/plan.h"
+#include "sim/trace.h"
+
+namespace ndp::sim {
+
+/** Behaviour switches for one engine run. */
+struct EngineOptions
+{
+    /** All network messages take 0 cycles (Section 6.4 ideal network). */
+    bool idealNetwork = false;
+    /**
+     * Force this L1 hit rate by probabilistically converting hits to
+     * misses or vice versa (Figure 18, S1). Negative = disabled.
+     */
+    double l1HitRateOverride = -1.0;
+    /** Scale factor on every network latency (Figure 18, S2). */
+    double networkScale = 1.0;
+    /** Divide compute time by this factor (Figure 18, S3). */
+    double parallelismSpeedup = 1.0;
+    /** Inject this many extra synchronisations (Figure 18, S4). */
+    std::int64_t extraSyncs = 0;
+    /** Seed for the S1 conversion draws. */
+    std::uint64_t seed = 0x5eed;
+    /**
+     * Optional execution trace: when set, every executed task's
+     * (node, start, finish, wait) interval is recorded for
+     * utilisation analysis / CSV export. Cleared at run start.
+     */
+    ExecutionTrace *trace = nullptr;
+    /**
+     * Silent passes over the plan's accesses before measurement,
+     * modelling the earlier trips of the application's outer timing
+     * loop: caches reach steady state, then statistics are measured
+     * over one trip. 0 measures a cold machine.
+     */
+    std::int32_t warmupPasses = 1;
+};
+
+/** Everything a run produces. */
+struct SimResult
+{
+    std::int64_t makespanCycles = 0;
+    /** Sum of per-task busy cycles (work, not wall-clock). */
+    std::int64_t totalBusyCycles = 0;
+    std::int64_t taskCount = 0;
+
+    /** Equation-1 data movement actually incurred (flit-hops). */
+    std::int64_t dataMovementFlitHops = 0;
+    std::int64_t networkMessages = 0;
+    double avgNetworkLatency = 0.0;
+    double maxNetworkLatency = 0.0;
+
+    mem::CacheStats l1;
+    mem::CacheStats l2;
+
+    std::int64_t syncCount = 0;
+    std::int64_t syncWaitCycles = 0;
+
+    std::int64_t computeCycles = 0;
+    std::int64_t networkStallCycles = 0;
+    std::int64_t memoryStallCycles = 0;
+
+    EnergyBreakdown energy;
+
+    double l1HitRate() const { return l1.hitRate(); }
+};
+
+/** Runs ExecutionPlans on a ManycoreSystem. */
+class ExecutionEngine
+{
+  public:
+    explicit ExecutionEngine(ManycoreSystem &system,
+                             EnergyParams energy_params = {});
+
+    /**
+     * Simulate @p plan from a cold machine. The system is reset first;
+     * the result captures every paper metric for this run.
+     */
+    SimResult run(const ExecutionPlan &plan,
+                  const EngineOptions &options = {});
+
+  private:
+    ManycoreSystem *system_;
+    EnergyParams energyParams_;
+};
+
+} // namespace ndp::sim
+
+#endif // NDP_SIM_ENGINE_H

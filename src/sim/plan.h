@@ -1,0 +1,123 @@
+#ifndef NDP_SIM_PLAN_H
+#define NDP_SIM_PLAN_H
+
+/**
+ * @file
+ * The execution-plan interface between the compiler side (partitioner /
+ * baseline placement) and the simulator. A plan is a DAG of Tasks; each
+ * task runs on one mesh node, performs memory reads, a computation, and
+ * optionally a store, and may depend on other tasks whose results are
+ * sent to it over the network (the paper's point-to-point
+ * synchronisations, Section 4.5).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/array.h"
+#include "ir/ops.h"
+#include "noc/coord.h"
+
+namespace ndp::sim {
+
+/** One memory access performed by a task. */
+struct MemAccess
+{
+    mem::Addr addr = 0;
+    std::uint32_t size = 8;
+    ir::ArrayId array = ir::kInvalidArray;
+};
+
+using TaskId = std::int32_t;
+inline constexpr TaskId kInvalidTask = -1;
+
+/**
+ * One unit of scheduled work. In the default plan a task is a whole
+ * statement instance; in the optimized plan it is a subcomputation.
+ */
+struct Task
+{
+    TaskId id = kInvalidTask;
+    noc::NodeId node = noc::kInvalidNode;
+
+    /** Operands fetched by this task from this node. */
+    std::vector<MemAccess> reads;
+    /** Final store (only the task holding the statement's result). */
+    std::optional<MemAccess> write;
+
+    /** Abstract op cost (division = 10 units, Section 4.5). */
+    std::int64_t computeCost = 0;
+    /** Operator kinds executed here (Table 3 accounting). */
+    std::vector<ir::OpKind> ops;
+
+    /**
+     * Producer tasks whose partial results must arrive before this task
+     * runs. Each cross-node edge is one point-to-point synchronisation.
+     */
+    std::vector<TaskId> deps;
+    /** Bytes of the partial result this task forwards to its consumer. */
+    std::int64_t resultBytes = 8;
+
+    /** Originating static statement (index into the nest body). */
+    std::int32_t statementIndex = -1;
+    /** Lexicographic iteration number of the originating instance. */
+    std::int64_t iterationNumber = -1;
+    /** True for offloaded subcomputations (re-mapped work, Table 3). */
+    bool isSubcomputation = false;
+};
+
+/** Per-statement-instance planning statistics (Figures 13-15). */
+struct InstanceStats
+{
+    std::int32_t statementIndex = -1;
+    std::int64_t iterationNumber = -1;
+    /** Equation-1 data movement (link traversals) planned. */
+    std::int64_t dataMovement = 0;
+    /** Data movement the default placement would have incurred. */
+    std::int64_t defaultDataMovement = 0;
+    /** Subcomputations of this instance that can run in parallel. */
+    std::int32_t degreeOfParallelism = 1;
+    /** Point-to-point synchronisations after minimisation. */
+    std::int32_t synchronizations = 0;
+    /** Synchronisations before transitive reduction (for reporting). */
+    std::int32_t rawSynchronizations = 0;
+};
+
+/** A complete schedule for one loop nest. */
+struct ExecutionPlan
+{
+    std::string name;
+    /**
+     * Tasks in issue order: producers precede consumers, and tasks on
+     * the same node appear in their program order.
+     */
+    std::vector<Task> tasks;
+    std::vector<InstanceStats> instances;
+
+    /** Window size the planner settled on (optimized plans only). */
+    std::int32_t windowSize = 1;
+
+    std::int64_t
+    totalPlannedMovement() const
+    {
+        std::int64_t total = 0;
+        for (const InstanceStats &s : instances)
+            total += s.dataMovement;
+        return total;
+    }
+
+    std::int64_t
+    totalDefaultMovement() const
+    {
+        std::int64_t total = 0;
+        for (const InstanceStats &s : instances)
+            total += s.defaultDataMovement;
+        return total;
+    }
+};
+
+} // namespace ndp::sim
+
+#endif // NDP_SIM_PLAN_H

@@ -1,0 +1,88 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/error.h"
+
+namespace ndp::sim {
+
+std::vector<std::int64_t>
+ExecutionTrace::nodeBusy(std::int32_t node_count) const
+{
+    std::vector<std::int64_t> busy(
+        static_cast<std::size_t>(node_count), 0);
+    for (const TraceEvent &e : events_) {
+        NDP_CHECK(e.node >= 0 && e.node < node_count,
+                  "trace event on unknown node " << e.node);
+        busy[static_cast<std::size_t>(e.node)] += e.finish - e.start;
+    }
+    return busy;
+}
+
+std::vector<std::int64_t>
+ExecutionTrace::nodeWaited(std::int32_t node_count) const
+{
+    std::vector<std::int64_t> waited(
+        static_cast<std::size_t>(node_count), 0);
+    for (const TraceEvent &e : events_)
+        waited[static_cast<std::size_t>(e.node)] += e.waited;
+    return waited;
+}
+
+std::int64_t
+ExecutionTrace::makespan() const
+{
+    std::int64_t last = 0;
+    for (const TraceEvent &e : events_)
+        last = std::max(last, e.finish);
+    return last;
+}
+
+std::vector<double>
+ExecutionTrace::nodeUtilization(std::int32_t node_count) const
+{
+    const std::int64_t span = makespan();
+    std::vector<double> util(static_cast<std::size_t>(node_count), 0.0);
+    if (span == 0)
+        return util;
+    const std::vector<std::int64_t> busy = nodeBusy(node_count);
+    for (std::size_t n = 0; n < util.size(); ++n)
+        util[n] = static_cast<double>(busy[n]) /
+                  static_cast<double>(span);
+    return util;
+}
+
+double
+ExecutionTrace::imbalance(std::int32_t node_count) const
+{
+    const std::vector<std::int64_t> busy = nodeBusy(node_count);
+    std::int64_t max_busy = 0;
+    std::int64_t total = 0;
+    std::int32_t active = 0;
+    for (std::int64_t b : busy) {
+        if (b > 0) {
+            max_busy = std::max(max_busy, b);
+            total += b;
+            ++active;
+        }
+    }
+    if (active == 0 || total == 0)
+        return 1.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(active);
+    return static_cast<double>(max_busy) / mean;
+}
+
+void
+ExecutionTrace::writeCsv(std::ostream &os) const
+{
+    os << "task,node,start,finish,waited,offloaded\n";
+    for (const TraceEvent &e : events_) {
+        os << e.task << ',' << e.node << ',' << e.start << ','
+           << e.finish << ',' << e.waited << ','
+           << (e.offloaded ? 1 : 0) << '\n';
+    }
+}
+
+} // namespace ndp::sim

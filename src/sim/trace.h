@@ -1,0 +1,81 @@
+#ifndef NDP_SIM_TRACE_H
+#define NDP_SIM_TRACE_H
+
+/**
+ * @file
+ * Execution tracing and per-node utilisation analysis. When attached
+ * to the engine, a trace records every task's (node, start, finish)
+ * interval; post-processing turns that into the per-node occupancy
+ * timeline behind the load-balance discussions of Section 4.5, and a
+ * CSV export feeds external plotting.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "noc/coord.h"
+#include "sim/plan.h"
+
+namespace ndp::sim {
+
+/** One scheduled task interval. */
+struct TraceEvent
+{
+    TaskId task = kInvalidTask;
+    noc::NodeId node = noc::kInvalidNode;
+    std::int64_t start = 0;
+    std::int64_t finish = 0;
+    std::int64_t waited = 0; ///< idle cycles the node spent before it
+    bool offloaded = false;
+};
+
+/** Recorded schedule of one engine run. */
+class ExecutionTrace
+{
+  public:
+    void
+    record(TaskId task, noc::NodeId node, std::int64_t start,
+           std::int64_t finish, std::int64_t waited, bool offloaded)
+    {
+        events_.push_back({task, node, start, finish, waited,
+                           offloaded});
+    }
+
+    void clear() { events_.clear(); }
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+
+    /** Busy cycles per node (index = NodeId). */
+    std::vector<std::int64_t> nodeBusy(std::int32_t node_count) const;
+
+    /** Idle-waiting cycles per node. */
+    std::vector<std::int64_t> nodeWaited(std::int32_t node_count) const;
+
+    /**
+     * Utilisation (busy / makespan) per node; 0 for idle nodes. The
+     * max/mean ratio of this vector is the load-imbalance figure the
+     * balancer is meant to bound.
+     */
+    std::vector<double> nodeUtilization(std::int32_t node_count) const;
+
+    /** Max-over-mean utilisation across nodes with any work (>= 1). */
+    double imbalance(std::int32_t node_count) const;
+
+    /** Latest finish time across all events. */
+    std::int64_t makespan() const;
+
+    /**
+     * Write one row per event as CSV:
+     * task,node,start,finish,waited,offloaded
+     */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace ndp::sim
+
+#endif // NDP_SIM_TRACE_H

@@ -1,0 +1,94 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace ndp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    NDP_REQUIRE(!headers_.empty(), "Table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    NDP_REQUIRE(!rows_.empty(), "cell() before row()");
+    NDP_REQUIRE(rows_.back().size() < headers_.size(),
+                "row has more cells than headers");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(const char *text)
+{
+    return cell(std::string(text));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return cell(oss.str());
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(widths[c]))
+                << cells[c];
+            if (c + 1 < cells.size())
+                oss << "  ";
+        }
+        oss << '\n';
+    };
+
+    emit_row(headers_);
+    std::vector<std::string> rule;
+    rule.reserve(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        rule.push_back(std::string(widths[c], '-'));
+    emit_row(rule);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    os << toString();
+}
+
+} // namespace ndp

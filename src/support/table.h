@@ -1,0 +1,59 @@
+#ifndef NDP_SUPPORT_TABLE_H
+#define NDP_SUPPORT_TABLE_H
+
+/**
+ * @file
+ * Fixed-width ASCII table printer used by every benchmark harness so the
+ * reproduced tables/figures print in a uniform, diff-friendly format.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ndp {
+
+/**
+ * A simple column-aligned table. Cells are strings; numeric helpers
+ * format with a fixed precision. Rendered with a header rule, e.g.:
+ *
+ *   app        avg%    max%
+ *   ---------  ------  ------
+ *   barnes     52.10   78.00
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    Table &cell(const std::string &text);
+    Table &cell(const char *text);
+    Table &cell(double value, int precision = 2);
+    Table &cell(long long value);
+    Table &cell(long value) { return cell(static_cast<long long>(value)); }
+    Table &cell(int value) { return cell(static_cast<long long>(value)); }
+    Table &cell(unsigned long value)
+    {
+        return cell(static_cast<long long>(value));
+    }
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render to a string (trailing newline included). */
+    std::string toString() const;
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ndp
+
+#endif // NDP_SUPPORT_TABLE_H

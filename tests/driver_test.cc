@@ -1,0 +1,182 @@
+/**
+ * @file
+ * End-to-end integration tests: the full pipeline (workload -> default
+ * placement -> partitioner -> simulation -> metrics) under the
+ * configurations every bench uses. These are the "headline shape"
+ * checks of EXPERIMENTS.md in executable form, at a reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ndp/ndp.h" // umbrella header must stay self-contained
+#include "driver/experiment.h"
+#include "partition/codegen.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ndp;
+using namespace ndp::driver;
+
+workloads::Workload
+smallApp(const std::string &name)
+{
+    workloads::WorkloadFactory factory(512);
+    return factory.build(name);
+}
+
+TEST(DriverTest, RunAppProducesConsistentMetrics)
+{
+    ExperimentRunner runner;
+    const AppResult result = runner.runApp(smallApp("water"));
+    EXPECT_EQ(result.app, "water");
+    EXPECT_FALSE(result.nests.empty());
+    EXPECT_GT(result.defaultMakespan, 0);
+    EXPECT_GT(result.optimizedMakespan, 0);
+    EXPECT_GT(result.defaultEnergy, 0.0);
+    EXPECT_GE(result.analyzableFraction, 0.0);
+    EXPECT_LE(result.analyzableFraction, 1.0);
+    EXPECT_GE(result.predictorAccuracy, 0.0);
+    EXPECT_LE(result.predictorAccuracy, 1.0);
+    EXPECT_GT(result.movementReductionPct.count(), 0u);
+}
+
+TEST(DriverTest, PlanSelectionNeverShipsASlowdown)
+{
+    // With profile-guided plan selection every nest's optimized run is
+    // at most the default's makespan, so the app-level reduction is
+    // non-negative.
+    for (const std::string &app :
+         {std::string("lu"), std::string("cholesky"),
+          std::string("water")}) {
+        ExperimentRunner runner;
+        const AppResult result = runner.runApp(smallApp(app));
+        EXPECT_GE(result.execTimeReductionPct(), 0.0) << app;
+        for (const NestResult &nr : result.nests) {
+            EXPECT_LE(nr.optimizedRun.makespanCycles,
+                      nr.defaultRun.makespanCycles)
+                << app << "/" << nr.nest;
+        }
+    }
+}
+
+TEST(DriverTest, RawPartitionerOutputCanBeReported)
+{
+    ExperimentConfig config;
+    config.planSelection = false;
+    ExperimentRunner runner(config);
+    const AppResult result = runner.runApp(smallApp("water"));
+    EXPECT_GT(result.defaultMakespan, 0);
+}
+
+TEST(DriverTest, IdealNetworkBeatsOrMatchesOurs)
+{
+    const workloads::Workload app = smallApp("fmm");
+    ExperimentRunner ours;
+    ExperimentConfig ideal_cfg;
+    ideal_cfg.optimizeComputation = false;
+    ideal_cfg.idealNetwork = true;
+    ExperimentRunner ideal(ideal_cfg);
+    const double ours_pct = ours.runApp(app).execTimeReductionPct();
+    const double ideal_pct = ideal.runApp(app).execTimeReductionPct();
+    EXPECT_GT(ideal_pct, 0.0);
+    // The zero-latency network is the upper bound on what movement
+    // reduction alone can buy.
+    EXPECT_LE(ours_pct, ideal_pct + 5.0);
+}
+
+TEST(DriverTest, DeterministicResults)
+{
+    const workloads::Workload app = smallApp("radiosity");
+    ExperimentRunner runner;
+    const AppResult a = runner.runApp(app);
+    const AppResult b = runner.runApp(app);
+    EXPECT_EQ(a.defaultMakespan, b.defaultMakespan);
+    EXPECT_EQ(a.optimizedMakespan, b.optimizedMakespan);
+    EXPECT_DOUBLE_EQ(a.movementReductionPct.mean(),
+                     b.movementReductionPct.mean());
+}
+
+TEST(DriverTest, MetricIsolationOrdersContributions)
+{
+    ExperimentRunner runner;
+    const IsolationResult iso =
+        runner.runMetricIsolation(smallApp("water"));
+    EXPECT_EQ(iso.app, "water");
+    // The full approach must beat each single-metric variant's noise
+    // floor, and S2 (movement) should carry most of the gain (the
+    // paper's headline observation for Figure 18).
+    EXPECT_GT(iso.fullApproach, 0.0);
+    EXPECT_GT(iso.s2DataMovement, iso.s4Synchronization);
+}
+
+TEST(DriverTest, DataToMcRemapRuns)
+{
+    ExperimentConfig config;
+    config.optimizeComputation = false;
+    config.dataToMcRemap = true;
+    config.planSelection = false;
+    ExperimentRunner runner(config);
+    const AppResult result = runner.runApp(smallApp("ocean"));
+    EXPECT_GT(result.defaultMakespan, 0);
+    EXPECT_GT(result.optimizedMakespan, 0);
+}
+
+TEST(DriverTest, ClusterAndMemoryModesAllRun)
+{
+    const workloads::Workload app = smallApp("fft");
+    for (const mem::ClusterMode cluster :
+         {mem::ClusterMode::AllToAll, mem::ClusterMode::Quadrant,
+          mem::ClusterMode::SNC4}) {
+        for (const mem::MemoryMode memory :
+             {mem::MemoryMode::Flat, mem::MemoryMode::Cache,
+              mem::MemoryMode::Hybrid}) {
+            ExperimentConfig config;
+            config.machine.clusterMode = cluster;
+            config.machine.memoryMode = memory;
+            ExperimentRunner runner(config);
+            const AppResult result = runner.runApp(app);
+            EXPECT_GT(result.defaultMakespan, 0)
+                << toString(cluster) << "/" << toString(memory);
+            EXPECT_GE(result.execTimeReductionPct(), 0.0);
+        }
+    }
+}
+
+TEST(DriverTest, OracleAtLeastMatchesPredictorBasedPlans)
+{
+    const workloads::Workload app = smallApp("radix");
+    ExperimentRunner ours;
+    ExperimentConfig oracle_cfg;
+    oracle_cfg.partition.oracle = true;
+    ExperimentRunner oracle(oracle_cfg);
+    EXPECT_GE(oracle.runApp(app).execTimeReductionPct() + 1.0,
+              ours.runApp(app).execTimeReductionPct());
+}
+
+TEST(DriverTest, GeomeanPctFloorsNegatives)
+{
+    EXPECT_GT(geomeanPct({10.0, 20.0}), 10.0);
+    EXPECT_GT(geomeanPct({-5.0, 20.0}), 0.0); // clamped, not NaN
+}
+
+TEST(DriverTest, PseudoCodeGenerationOnRealPlan)
+{
+    // Wire codegen through a real optimized plan.
+    const workloads::Workload app = smallApp("water");
+    sim::ManycoreSystem system({});
+    system.setMcdramArrays(app.mcdramArrays);
+    sim::ExecutionEngine engine(system);
+    baseline::DefaultPlacement placement(system, app.arrays);
+    const ir::LoopNest &nest = app.nests.front();
+    const auto nodes = placement.assignIterations(nest);
+    (void)engine.run(placement.buildPlan(nest, nodes));
+    partition::Partitioner partitioner(system, app.arrays);
+    const auto plan = partitioner.plan(nest, nodes);
+    const std::string code =
+        partition::generatePseudoCode(plan, nest, app.arrays, 0, 1);
+    EXPECT_NE(code.find("node "), std::string::npos);
+    EXPECT_NE(code.find("="), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Property tests for the execution engine over randomly generated task
+ * DAGs: structural invariants that must hold for *any* plan —
+ * makespan bounds, monotonicity under the Figure-18 knobs, and full
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace ndp;
+using namespace ndp::sim;
+
+/** Random DAG plan: forward-only deps, random nodes/reads/costs. */
+ExecutionPlan
+randomPlan(std::uint64_t seed, int tasks, int node_count)
+{
+    Rng rng(seed);
+    ExecutionPlan plan;
+    for (int t = 0; t < tasks; ++t) {
+        Task task;
+        task.id = t;
+        task.node = static_cast<noc::NodeId>(
+            rng.nextBelow(static_cast<std::uint64_t>(node_count)));
+        task.computeCost = 1 + static_cast<std::int64_t>(
+                                   rng.nextBelow(6));
+        task.statementIndex = 0;
+        task.iterationNumber = t;
+        const int n_reads = static_cast<int>(rng.nextBelow(4));
+        for (int r = 0; r < n_reads; ++r) {
+            task.reads.push_back(
+                {static_cast<mem::Addr>(0x10000 +
+                                        64 * rng.nextBelow(512)),
+                 64, 0});
+        }
+        if (rng.nextBool(0.5)) {
+            task.write = MemAccess{
+                static_cast<mem::Addr>(0x80000 + 64 * t), 64, 0};
+        }
+        // Up to 2 random backward deps.
+        for (int d = 0; d < 2 && t > 0; ++d) {
+            if (rng.nextBool(0.35)) {
+                const auto dep = static_cast<TaskId>(
+                    rng.nextBelow(static_cast<std::uint64_t>(t)));
+                if (std::find(task.deps.begin(), task.deps.end(),
+                              dep) == task.deps.end())
+                    task.deps.push_back(dep);
+            }
+        }
+        plan.tasks.push_back(std::move(task));
+    }
+    return plan;
+}
+
+class EnginePropertyTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    ManycoreConfig config;
+};
+
+TEST_P(EnginePropertyTest, MakespanBounds)
+{
+    ManycoreSystem system(config);
+    ExecutionEngine engine(system);
+    const ExecutionPlan plan = randomPlan(
+        static_cast<std::uint64_t>(GetParam()), 120,
+        system.mesh().nodeCount());
+    const SimResult result = engine.run(plan);
+
+    // Makespan can never beat perfect parallelisation of the busy work
+    // and never exceed fully serial execution plus all waits.
+    const std::int64_t nodes = system.mesh().nodeCount();
+    EXPECT_GE(result.makespanCycles,
+              result.totalBusyCycles / nodes / 2)
+        << "makespan below any feasible schedule";
+    EXPECT_LE(result.makespanCycles,
+              result.totalBusyCycles + result.syncWaitCycles + 1);
+    EXPECT_EQ(result.taskCount, 120);
+    EXPECT_GE(result.syncWaitCycles, 0);
+    EXPECT_GE(result.dataMovementFlitHops, 0);
+}
+
+TEST_P(EnginePropertyTest, Determinism)
+{
+    ManycoreSystem system(config);
+    ExecutionEngine engine(system);
+    const ExecutionPlan plan = randomPlan(
+        static_cast<std::uint64_t>(GetParam()) * 31, 80,
+        system.mesh().nodeCount());
+    const SimResult a = engine.run(plan);
+    const SimResult b = engine.run(plan);
+    EXPECT_EQ(a.makespanCycles, b.makespanCycles);
+    EXPECT_EQ(a.totalBusyCycles, b.totalBusyCycles);
+    EXPECT_EQ(a.syncCount, b.syncCount);
+    EXPECT_EQ(a.dataMovementFlitHops, b.dataMovementFlitHops);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST_P(EnginePropertyTest, IdealNetworkNeverSlower)
+{
+    ManycoreSystem system(config);
+    ExecutionEngine engine(system);
+    const ExecutionPlan plan = randomPlan(
+        static_cast<std::uint64_t>(GetParam()) * 77, 100,
+        system.mesh().nodeCount());
+    EngineOptions ideal;
+    ideal.idealNetwork = true;
+    const SimResult real = engine.run(plan);
+    const SimResult zero = engine.run(plan, ideal);
+    // Greedy list scheduling admits small Graham anomalies: shorter
+    // task times can reorder the schedule slightly. Allow 2% slack.
+    EXPECT_LE(zero.makespanCycles,
+              real.makespanCycles + real.makespanCycles / 50 + 8);
+    EXPECT_EQ(zero.networkStallCycles, 0);
+}
+
+TEST_P(EnginePropertyTest, NetworkScaleMonotonic)
+{
+    ManycoreSystem system(config);
+    ExecutionEngine engine(system);
+    const ExecutionPlan plan = randomPlan(
+        static_cast<std::uint64_t>(GetParam()) * 131, 100,
+        system.mesh().nodeCount());
+    EngineOptions half;
+    half.networkScale = 0.5;
+    EngineOptions twice;
+    twice.networkScale = 2.0;
+    const SimResult lo = engine.run(plan, half);
+    const SimResult mid = engine.run(plan);
+    const SimResult hi = engine.run(plan, twice);
+    EXPECT_LE(lo.networkStallCycles, mid.networkStallCycles);
+    EXPECT_LE(mid.networkStallCycles, hi.networkStallCycles);
+}
+
+TEST_P(EnginePropertyTest, SyncCountMatchesCrossNodeDeps)
+{
+    ManycoreSystem system(config);
+    ExecutionEngine engine(system);
+    const ExecutionPlan plan = randomPlan(
+        static_cast<std::uint64_t>(GetParam()) * 171, 60,
+        system.mesh().nodeCount());
+    std::int64_t expected = 0;
+    for (const Task &task : plan.tasks) {
+        for (TaskId dep : task.deps) {
+            if (plan.tasks[static_cast<std::size_t>(dep)].node !=
+                task.node)
+                ++expected;
+        }
+    }
+    const SimResult result = engine.run(plan);
+    EXPECT_EQ(result.syncCount, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Range(1, 11));
+
+} // namespace

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the NoC layer: Manhattan distance, mesh topology and XY
+ * routing, traffic accounting, and the latency/congestion model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/mesh_topology.h"
+#include "noc/noc_model.h"
+#include "noc/traffic_matrix.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace ndp;
+using namespace ndp::noc;
+
+// ---------------------------------------------------------------- Coord
+
+TEST(CoordTest, ManhattanDistanceMatchesDefinition)
+{
+    // MD(n_ij, n_xy) = |i-x| + |j-y| (Section 2).
+    EXPECT_EQ(manhattanDistance({0, 0}, {0, 0}), 0);
+    EXPECT_EQ(manhattanDistance({1, 2}, {4, 6}), 7);
+    EXPECT_EQ(manhattanDistance({4, 6}, {1, 2}), 7); // symmetric
+    EXPECT_EQ(manhattanDistance({-1, 0}, {1, 0}), 2);
+}
+
+TEST(CoordTest, EqualityAndHash)
+{
+    Coord a{2, 3}, b{2, 3}, c{3, 2};
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+    EXPECT_EQ(std::hash<Coord>()(a), std::hash<Coord>()(b));
+}
+
+// --------------------------------------------------------- MeshTopology
+
+TEST(MeshTopologyTest, NodeNumberingRoundTrips)
+{
+    MeshTopology mesh(6, 6);
+    EXPECT_EQ(mesh.nodeCount(), 36);
+    for (NodeId n = 0; n < mesh.nodeCount(); ++n)
+        EXPECT_EQ(mesh.nodeAt(mesh.coordOf(n)), n);
+}
+
+TEST(MeshTopologyTest, RejectsDegenerateMeshes)
+{
+    EXPECT_THROW(MeshTopology(1, 6), FatalError);
+    EXPECT_THROW(MeshTopology(6, 1), FatalError);
+}
+
+TEST(MeshTopologyTest, CornersHostMemoryControllers)
+{
+    MeshTopology mesh(6, 4);
+    const auto &mcs = mesh.memoryControllerNodes();
+    ASSERT_EQ(mcs.size(), 4u);
+    EXPECT_EQ(mesh.coordOf(mcs[0]), (Coord{0, 0}));
+    EXPECT_EQ(mesh.coordOf(mcs[1]), (Coord{5, 0}));
+    EXPECT_EQ(mesh.coordOf(mcs[2]), (Coord{0, 3}));
+    EXPECT_EQ(mesh.coordOf(mcs[3]), (Coord{5, 3}));
+}
+
+TEST(MeshTopologyTest, QuadrantsPartitionTheMesh)
+{
+    MeshTopology mesh(6, 6);
+    int count[4] = {0, 0, 0, 0};
+    for (NodeId n = 0; n < mesh.nodeCount(); ++n) {
+        const QuadrantId q = mesh.quadrantOf(n);
+        ASSERT_GE(q, 0);
+        ASSERT_LT(q, 4);
+        ++count[q];
+    }
+    for (int q = 0; q < 4; ++q)
+        EXPECT_EQ(count[q], 9);
+    // The quadrant's MC lives in that quadrant.
+    for (QuadrantId q = 0; q < 4; ++q) {
+        EXPECT_EQ(mesh.quadrantOf(mesh.memoryControllerOfQuadrant(q)),
+                  q);
+    }
+}
+
+TEST(MeshTopologyTest, NearestMemoryControllerIsNearest)
+{
+    MeshTopology mesh(6, 6);
+    for (NodeId n = 0; n < mesh.nodeCount(); ++n) {
+        const NodeId best = mesh.nearestMemoryController(n);
+        for (NodeId mc : mesh.memoryControllerNodes())
+            EXPECT_LE(mesh.distance(n, best), mesh.distance(n, mc));
+    }
+}
+
+/** Mesh-shape sweep: XY routes must be minimal and contiguous. */
+class MeshRoutingTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(MeshRoutingTest, RoutesAreMinimalAndContiguous)
+{
+    const auto [cols, rows] = GetParam();
+    MeshTopology mesh(cols, rows);
+    Rng rng(99);
+    for (int trial = 0; trial < 64; ++trial) {
+        const auto a = static_cast<NodeId>(
+            rng.nextBelow(static_cast<std::uint64_t>(mesh.nodeCount())));
+        const auto b = static_cast<NodeId>(
+            rng.nextBelow(static_cast<std::uint64_t>(mesh.nodeCount())));
+        const auto nodes = mesh.routeNodes(a, b);
+        ASSERT_FALSE(nodes.empty());
+        EXPECT_EQ(nodes.front(), a);
+        EXPECT_EQ(nodes.back(), b);
+        // Hop count equals the Manhattan distance (minimal route).
+        {
+            EXPECT_EQ(static_cast<std::int32_t>(nodes.size()) - 1,
+                      mesh.distance(a, b));
+        }
+        for (std::size_t i = 0; i + 1 < nodes.size(); ++i)
+            EXPECT_EQ(mesh.distance(nodes[i], nodes[i + 1]), 1);
+        // Links correspond to the node sequence.
+        EXPECT_EQ(mesh.route(a, b).size(), nodes.size() - 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MeshRoutingTest,
+    ::testing::Values(std::make_pair(2, 2), std::make_pair(6, 6),
+                      std::make_pair(8, 4), std::make_pair(3, 7)));
+
+TEST(MeshTopologyTest, XyRoutingGoesXFirst)
+{
+    MeshTopology mesh(6, 6);
+    const NodeId from = mesh.nodeAt({1, 1});
+    const NodeId to = mesh.nodeAt({4, 3});
+    const auto nodes = mesh.routeNodes(from, to);
+    // After the first segment the y coordinate must be unchanged until
+    // x reaches the destination column.
+    for (const NodeId n : nodes) {
+        const Coord c = mesh.coordOf(n);
+        if (c.y != 1) {
+            EXPECT_EQ(c.x, 4);
+        }
+    }
+}
+
+TEST(MeshTopologyTest, LinkIndexUniquePerDirectedLink)
+{
+    MeshTopology mesh(4, 4);
+    std::set<std::int32_t> seen;
+    for (NodeId n = 0; n < mesh.nodeCount(); ++n) {
+        const Coord c = mesh.coordOf(n);
+        const Coord neighbors[4] = {{c.x + 1, c.y},
+                                    {c.x - 1, c.y},
+                                    {c.x, c.y + 1},
+                                    {c.x, c.y - 1}};
+        for (const Coord &nc : neighbors) {
+            if (!mesh.contains(nc))
+                continue;
+            const std::int32_t link =
+                mesh.linkIndex(n, mesh.nodeAt(nc));
+            EXPECT_TRUE(seen.insert(link).second)
+                << "duplicate link index " << link;
+            EXPECT_LT(link, mesh.linkCount());
+        }
+    }
+}
+
+TEST(MeshTopologyTest, LinkIndexRejectsNonAdjacent)
+{
+    MeshTopology mesh(4, 4);
+    EXPECT_THROW(mesh.linkIndex(0, 2), PanicError);
+}
+
+// -------------------------------------------------------- TrafficMatrix
+
+TEST(TrafficMatrixTest, AccountsFlitHopsAsFlitsTimesDistance)
+{
+    MeshTopology mesh(6, 6);
+    TrafficMatrix traffic(mesh);
+    const NodeId a = mesh.nodeAt({0, 0});
+    const NodeId b = mesh.nodeAt({3, 2});
+    traffic.addMessage(a, b, 8);
+    EXPECT_EQ(traffic.totalFlitHops(), 8 * mesh.distance(a, b));
+    EXPECT_EQ(traffic.messageCount(), 1);
+}
+
+TEST(TrafficMatrixTest, LocalMessageMovesNothing)
+{
+    MeshTopology mesh(4, 4);
+    TrafficMatrix traffic(mesh);
+    traffic.addMessage(5, 5, 8);
+    EXPECT_EQ(traffic.totalFlitHops(), 0);
+    EXPECT_EQ(traffic.messageCount(), 1);
+}
+
+TEST(TrafficMatrixTest, PerLinkLoadsAccumulate)
+{
+    MeshTopology mesh(4, 4);
+    TrafficMatrix traffic(mesh);
+    const NodeId a = mesh.nodeAt({0, 0});
+    const NodeId b = mesh.nodeAt({1, 0});
+    traffic.addMessage(a, b, 3);
+    traffic.addMessage(a, b, 4);
+    EXPECT_EQ(traffic.linkLoad(mesh.linkIndex(a, b)), 7);
+    EXPECT_EQ(traffic.maxLinkLoad(), 7);
+    EXPECT_DOUBLE_EQ(traffic.meanActiveLinkLoad(), 7.0);
+    traffic.reset();
+    EXPECT_EQ(traffic.totalFlitHops(), 0);
+    EXPECT_EQ(traffic.maxLinkLoad(), 0);
+}
+
+TEST(TrafficMatrixTest, OppositeDirectionsAreSeparateLinks)
+{
+    MeshTopology mesh(4, 4);
+    TrafficMatrix traffic(mesh);
+    const NodeId a = mesh.nodeAt({0, 0});
+    const NodeId b = mesh.nodeAt({1, 0});
+    traffic.addMessage(a, b, 2);
+    EXPECT_EQ(traffic.linkLoad(mesh.linkIndex(a, b)), 2);
+    EXPECT_EQ(traffic.linkLoad(mesh.linkIndex(b, a)), 0);
+}
+
+// ------------------------------------------------------------- NocModel
+
+TEST(NocModelTest, UncontendedLatencyComposition)
+{
+    MeshTopology mesh(6, 6);
+    NocParams params;
+    params.routerCycles = 2;
+    params.perHopCycles = 3;
+    params.serializationCycles = 1;
+    NocModel model(mesh, params);
+
+    const NodeId a = mesh.nodeAt({0, 0});
+    const NodeId b = mesh.nodeAt({2, 1});
+    // 3 hops, 8 flits: 2 + 3*3 + 7*1 = 18.
+    EXPECT_EQ(model.uncontendedLatency(a, b, 8), 18);
+    EXPECT_EQ(model.uncontendedLatency(a, a, 8), 0);
+}
+
+TEST(NocModelTest, LatencyMonotonicInDistanceAndSize)
+{
+    MeshTopology mesh(6, 6);
+    NocModel model(mesh, {});
+    const NodeId origin = mesh.nodeAt({0, 0});
+    std::int64_t prev = -1;
+    for (int x = 1; x < 6; ++x) {
+        const std::int64_t lat = model.uncontendedLatency(
+            origin, mesh.nodeAt({x, 0}), 1);
+        EXPECT_GT(lat, prev);
+        prev = lat;
+    }
+    EXPECT_LT(model.uncontendedLatency(origin, mesh.nodeAt({3, 3}), 1),
+              model.uncontendedLatency(origin, mesh.nodeAt({3, 3}), 8));
+}
+
+TEST(NocModelTest, CongestionKicksInAboveCapacity)
+{
+    MeshTopology mesh(4, 4);
+    NocParams params;
+    params.linkCapacity = 10;
+    params.congestionCyclesPerExcess = 10.0;
+    NocModel model(mesh, params);
+    TrafficMatrix traffic(mesh);
+
+    const NodeId a = mesh.nodeAt({0, 0});
+    const NodeId b = mesh.nodeAt({1, 0});
+    const std::int64_t quiet = model.messageLatency(a, b, 1, traffic);
+    traffic.addMessage(a, b, 100); // well above capacity
+    const std::int64_t congested =
+        model.messageLatency(a, b, 1, traffic);
+    EXPECT_GT(congested, quiet);
+}
+
+TEST(NocModelTest, LatencyStatsTrackMessages)
+{
+    MeshTopology mesh(4, 4);
+    NocModel model(mesh, {});
+    TrafficMatrix traffic(mesh);
+    model.messageLatency(0, 1, 1, traffic);
+    model.messageLatency(0, 5, 8, traffic);
+    EXPECT_EQ(model.latencyStats().count(), 2u);
+    EXPECT_GT(model.latencyStats().max(), 0.0);
+    // Local messages do not pollute the stats.
+    model.messageLatency(3, 3, 8, traffic);
+    EXPECT_EQ(model.latencyStats().count(), 2u);
+    model.resetStats();
+    EXPECT_EQ(model.latencyStats().count(), 0u);
+}
+
+TEST(NocModelTest, RejectsNonPositiveCapacity)
+{
+    MeshTopology mesh(4, 4);
+    NocParams params;
+    params.linkCapacity = 0;
+    EXPECT_THROW(NocModel(mesh, params), FatalError);
+}
+
+} // namespace

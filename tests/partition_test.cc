@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Tests for the partition layer building blocks: the variable2node
+ * map, data location (GetNode), the load balancer, the MST-based
+ * statement splitter (including MST-weight optimality against brute
+ * force and the paper's worked examples), and the synchronisation
+ * graph's transitive reduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "ir/nested_sets.h"
+#include "support/disjoint_set.h"
+#include "ir/parser.h"
+#include "partition/data_locator.h"
+#include "partition/load_balancer.h"
+#include "partition/splitter.h"
+#include "partition/sync_graph.h"
+#include "sim/manycore.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace ndp;
+using namespace ndp::partition;
+
+// ---------------------------------------------------- VariableToNodeMap
+
+TEST(VariableToNodeMapTest, RecordsAndDeduplicates)
+{
+    VariableToNodeMap map;
+    map.add(0x100, 3);
+    map.add(0x100, 3); // duplicate
+    map.add(0x110, 5); // same line as 0x100
+    ASSERT_EQ(map.nodesFor(0x100).size(), 2u);
+    EXPECT_EQ(map.nodesFor(0x100)[0], 3);
+    EXPECT_EQ(map.nodesFor(0x100)[1], 5);
+    EXPECT_TRUE(map.nodesFor(0x4000).empty());
+    map.clear();
+    EXPECT_TRUE(map.nodesFor(0x100).empty());
+}
+
+TEST(VariableToNodeMapTest, CapacityModelsL1Pollution)
+{
+    VariableToNodeMap map(/*per_node_capacity=*/2);
+    map.add(0 * mem::kLineSize, 7);
+    map.add(1 * mem::kLineSize, 7);
+    map.add(2 * mem::kLineSize, 7); // evicts line 0 from node 7
+    EXPECT_TRUE(map.nodesFor(0).empty());
+    EXPECT_FALSE(map.nodesFor(1 * mem::kLineSize).empty());
+    EXPECT_FALSE(map.nodesFor(2 * mem::kLineSize).empty());
+}
+
+// ----------------------------------------------------------- DataLocator
+
+class DataLocatorTest : public ::testing::Test
+{
+  protected:
+    sim::ManycoreConfig config;
+    sim::ManycoreSystem system{config};
+};
+
+TEST_F(DataLocatorTest, DefaultsToHomeBank)
+{
+    DataLocator locator(system);
+    VariableToNodeMap empty;
+    const mem::Addr addr = 0x123400;
+    const Location loc = locator.locate(addr, empty, 0);
+    EXPECT_EQ(loc.node, system.addressMap().homeBankNode(addr));
+}
+
+TEST_F(DataLocatorTest, PrefersNearestL1Copy)
+{
+    DataLocator locator(system);
+    VariableToNodeMap map;
+    const mem::Addr addr = 0x777000;
+    const noc::NodeId near = system.mesh().nodeAt({1, 1});
+    const noc::NodeId far = system.mesh().nodeAt({5, 5});
+    map.add(addr, far);
+    map.add(addr, near);
+    const Location loc =
+        locator.locate(addr, map, system.mesh().nodeAt({0, 0}));
+    EXPECT_EQ(loc.source, LocationSource::L1Copy);
+    EXPECT_EQ(loc.node, near);
+}
+
+TEST_F(DataLocatorTest, PredictedMissTagsMemCtrlSource)
+{
+    // Train the predictor to predict misses for this line.
+    const mem::Addr addr = 0x9990c0;
+    for (int i = 0; i < 8; ++i)
+        system.missPredictor().update(addr, false);
+    DataLocator locator(system);
+    const Location loc = locator.locateHome(addr);
+    EXPECT_EQ(loc.source, LocationSource::MemCtrl);
+    // The node stays on the fill path (home bank; see DESIGN.md).
+    EXPECT_EQ(loc.node, system.addressMap().homeBankNode(addr));
+}
+
+TEST_F(DataLocatorTest, OracleIgnoresPredictor)
+{
+    const mem::Addr addr = 0x55500;
+    for (int i = 0; i < 8; ++i)
+        system.missPredictor().update(addr, false);
+    DataLocator oracle(system, /*oracle=*/true);
+    EXPECT_EQ(oracle.locateHome(addr).source, LocationSource::L2Home);
+}
+
+// ----------------------------------------------------------LoadBalancer
+
+TEST(LoadBalancerTest, FirstAssignmentsAccepted)
+{
+    LoadBalancer balancer(4);
+    EXPECT_TRUE(balancer.accepts(0, 10));
+    balancer.add(0, 10);
+    // Node 0 now has load; an idle node is always preferable but node
+    // 1 (still empty) accepts too.
+    EXPECT_TRUE(balancer.accepts(1, 10));
+}
+
+TEST(LoadBalancerTest, TenPercentRule)
+{
+    LoadBalancer balancer(3, 0.10);
+    balancer.add(0, 100);
+    balancer.add(1, 100);
+    // Node 2 taking 111 would exceed 1.1 * 100.
+    EXPECT_FALSE(balancer.accepts(2, 111));
+    EXPECT_TRUE(balancer.accepts(2, 110));
+}
+
+TEST(LoadBalancerTest, SecondAssignmentToLoadedNodeVetoed)
+{
+    LoadBalancer balancer(4, 0.10);
+    balancer.add(2, 50);
+    // All other nodes idle: node 2 must not take more work yet.
+    EXPECT_FALSE(balancer.accepts(2, 1));
+    EXPECT_TRUE(balancer.accepts(0, 1));
+}
+
+TEST(LoadBalancerTest, LoadsAndImbalance)
+{
+    LoadBalancer balancer(3);
+    balancer.add(0, 30);
+    balancer.add(1, 10);
+    EXPECT_EQ(balancer.load(0), 30);
+    EXPECT_EQ(balancer.maxLoad(), 30);
+    EXPECT_EQ(balancer.totalLoad(), 40);
+    EXPECT_DOUBLE_EQ(balancer.imbalance(), 3.0);
+    balancer.reset();
+    EXPECT_EQ(balancer.totalLoad(), 0);
+    EXPECT_DOUBLE_EQ(balancer.imbalance(), 1.0);
+}
+
+// ------------------------------------------------------------- splitter
+
+/** Fixture building statements with chosen operand locations. */
+class SplitterTest : public ::testing::Test
+{
+  protected:
+    SplitterTest()
+        : mesh(6, 6), splitter(mesh)
+    {
+    }
+
+    /** Build a flat sum statement with @p n operands. */
+    ir::VarSet
+    flatSum(int n)
+    {
+        std::string src;
+        std::string rhs;
+        src += "array OUT[8];\n";
+        for (int i = 0; i < n; ++i) {
+            src += "array V" + std::to_string(i) + "[8];\n";
+            if (i > 0)
+                rhs += " + ";
+            rhs += "V" + std::to_string(i) + "[i]";
+        }
+        src += "for i = 0..8 { OUT[i] = " + rhs + "; }";
+        arrays = ir::ArrayTable();
+        nest = std::make_unique<ir::LoopNest>(
+            ir::parseKernel(src, "t", arrays));
+        return ir::buildVarSets(nest->body().front());
+    }
+
+    static std::vector<Location>
+    at(std::initializer_list<noc::NodeId> nodes)
+    {
+        std::vector<Location> locations;
+        for (noc::NodeId n : nodes) {
+            Location loc;
+            loc.node = n;
+            loc.source = LocationSource::L2Home;
+            locations.push_back(loc);
+        }
+        return locations;
+    }
+
+    /** Verify structural invariants every split must satisfy. */
+    void
+    checkInvariants(const SplitResult &result, std::size_t leaf_count,
+                    noc::NodeId store_node)
+    {
+        ASSERT_GE(result.root, 0);
+        const auto &root =
+            result.subs[static_cast<std::size_t>(result.root)];
+        EXPECT_TRUE(root.isRoot);
+        EXPECT_EQ(root.node, store_node);
+
+        // Children precede parents; every leaf consumed exactly once.
+        std::set<int> leaves_seen;
+        std::set<int> children_seen;
+        for (std::size_t s = 0; s < result.subs.size(); ++s) {
+            const Subcomputation &sub = result.subs[s];
+            for (int leaf : sub.leaves)
+                EXPECT_TRUE(leaves_seen.insert(leaf).second)
+                    << "leaf " << leaf << " consumed twice";
+            for (int child : sub.children) {
+                EXPECT_LT(static_cast<std::size_t>(child), s)
+                    << "child after parent";
+                EXPECT_TRUE(children_seen.insert(child).second)
+                    << "subresult consumed twice";
+            }
+        }
+        EXPECT_EQ(leaves_seen.size(), leaf_count);
+        // Every non-root sub is consumed by exactly one parent.
+        for (std::size_t s = 0; s < result.subs.size(); ++s) {
+            if (static_cast<int>(s) == result.root)
+                EXPECT_EQ(children_seen.count(static_cast<int>(s)), 0u);
+            else
+                EXPECT_EQ(children_seen.count(static_cast<int>(s)), 1u);
+        }
+        EXPECT_GE(result.degreeOfParallelism, 1);
+        EXPECT_GE(result.plannedMovement, 0);
+    }
+
+    noc::MeshTopology mesh;
+    StatementSplitter splitter;
+    ir::ArrayTable arrays;
+    std::unique_ptr<ir::LoopNest> nest;
+};
+
+TEST_F(SplitterTest, AllOperandsColocatedCostZeroMovementToStore)
+{
+    const ir::VarSet sets = flatSum(3);
+    const noc::NodeId where = mesh.nodeAt({2, 2});
+    SplitResult result =
+        splitter.split(sets, at({where, where, where}), where);
+    checkInvariants(result, 3, where);
+    EXPECT_EQ(result.plannedMovement, 0);
+    EXPECT_EQ(result.subs.size(), 1u); // just the root merge
+}
+
+TEST_F(SplitterTest, PaperStyleSingleStatement)
+{
+    // Mirrors Figure 3/9: B and E share a node cluster, C and D
+    // another; the split must merge locally and forward results.
+    const ir::VarSet sets = flatSum(4); // B, C, D, E
+    const noc::NodeId nB = mesh.nodeAt({1, 1});
+    const noc::NodeId nC = mesh.nodeAt({4, 3});
+    const noc::NodeId nD = mesh.nodeAt({4, 4});
+    const noc::NodeId nE = mesh.nodeAt({1, 1}); // with B
+    const noc::NodeId nA = mesh.nodeAt({2, 3}); // store
+    SplitResult result =
+        splitter.split(sets, at({nB, nC, nD, nE}), nA);
+    checkInvariants(result, 4, nA);
+
+    // B+E must merge at their shared node.
+    bool be_merge = false;
+    for (const Subcomputation &sub : result.subs) {
+        if (sub.node == nB && sub.leaves.size() == 2)
+            be_merge = true;
+    }
+    EXPECT_TRUE(be_merge);
+
+    // The default (fetch everything to nA) moves, per element-weighted
+    // Equation 1, strictly more than the MST schedule.
+    const std::int64_t fetch_weight = 8;
+    std::int64_t default_movement = 0;
+    for (noc::NodeId n : {nB, nC, nD, nE})
+        default_movement += fetch_weight * mesh.distance(n, nA);
+    EXPECT_LT(result.plannedMovement, default_movement);
+}
+
+TEST_F(SplitterTest, LoneLeafBecomesForwardingSub)
+{
+    const ir::VarSet sets = flatSum(2);
+    const noc::NodeId n0 = mesh.nodeAt({0, 0});
+    const noc::NodeId n1 = mesh.nodeAt({5, 5});
+    const noc::NodeId store = mesh.nodeAt({0, 5});
+    SplitResult result = splitter.split(sets, at({n0, n1}), store);
+    checkInvariants(result, 2, store);
+    // Each remote lone operand is read where it lives and forwarded as
+    // a value (resultWeight), not pulled as a full line.
+    for (const Subcomputation &sub : result.subs) {
+        if (!sub.isRoot) {
+            EXPECT_EQ(sub.leaves.size(), 1u);
+            EXPECT_TRUE(sub.ops.empty());
+        }
+    }
+    const std::int64_t expected =
+        mesh.distance(n0, store) + mesh.distance(n1, store);
+    // Movement is at most one element per operand along MST edges
+    // (tree paths may route through intermediate vertices).
+    EXPECT_LE(result.plannedMovement,
+              2 * (mesh.distance(n0, n1) + mesh.distance(n1, store)));
+    EXPECT_GT(result.plannedMovement, 0);
+    (void)expected;
+}
+
+TEST_F(SplitterTest, ParenthesesSplitInnermostFirst)
+{
+    // x = a * (b + c): the (b + c) set is processed first and joins
+    // the outer MulLike level as one component (Section 4.2).
+    arrays = ir::ArrayTable();
+    ir::LoopNest local = ir::parseKernel(R"(
+        array a[8]; array b[8]; array c[8]; array x[8];
+        for i = 0..8 { x[i] = a[i] * (b[i] + c[i]); })",
+                                         "t", arrays);
+    const ir::VarSet sets = ir::buildVarSets(local.body().front());
+    const noc::NodeId na = mesh.nodeAt({0, 0});
+    const noc::NodeId nb = mesh.nodeAt({5, 0});
+    const noc::NodeId nc = mesh.nodeAt({5, 1});
+    const noc::NodeId store = mesh.nodeAt({2, 2});
+    SplitResult result = splitter.split(sets, at({na, nb, nc}), store);
+    // b + c must merge inside the b/c cluster (possibly as a local
+    // leaf plus a forwarded value), not at a's node or the store.
+    bool bc_merge_near = false;
+    for (const Subcomputation &sub : result.subs) {
+        if (!sub.ops.empty() && !sub.isRoot &&
+            (sub.node == nb || sub.node == nc) &&
+            sub.leaves.size() + sub.children.size() == 2)
+            bc_merge_near = true;
+    }
+    EXPECT_TRUE(bc_merge_near);
+}
+
+TEST_F(SplitterTest, LoadBalancerShiftsOverloadedMerges)
+{
+    const ir::VarSet sets = flatSum(2);
+    const noc::NodeId n0 = mesh.nodeAt({1, 1});
+    const noc::NodeId n1 = mesh.nodeAt({1, 2});
+    const noc::NodeId store = mesh.nodeAt({4, 4});
+
+    // Overload n1 heavily so merges there are vetoed.
+    LoadBalancer balancer(mesh.nodeCount(), 0.10);
+    for (noc::NodeId n = 0; n < mesh.nodeCount(); ++n) {
+        if (n != n1)
+            balancer.add(n, 100);
+    }
+    balancer.add(n1, 100000);
+
+    SplitResult balanced =
+        splitter.split(sets, at({n0, n1}), store, &balancer);
+    for (const Subcomputation &sub : balanced.subs)
+        EXPECT_TRUE(sub.isRoot || sub.opCost == 0 || sub.node != n1)
+            << "compute merged on the overloaded node";
+}
+
+TEST_F(SplitterTest, DegreeOfParallelismCountsIndependentSubs)
+{
+    // Two distant operand clusters merging toward a central store.
+    const ir::VarSet sets = flatSum(4);
+    SplitResult result = splitter.split(
+        sets,
+        at({mesh.nodeAt({0, 0}), mesh.nodeAt({0, 1}),
+            mesh.nodeAt({5, 5}), mesh.nodeAt({5, 4})}),
+        mesh.nodeAt({2, 2}));
+    // Each cluster merges locally and independently.
+    EXPECT_GE(result.degreeOfParallelism, 2);
+}
+
+/** Property: MST total weight matches a brute-force minimum. */
+class MstOptimalityTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MstOptimalityTest, KruskalMatchesBruteForce)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    noc::MeshTopology mesh(6, 6);
+
+    // Random distinct vertices (4..6 of them).
+    const int n = 4 + static_cast<int>(rng.nextBelow(3));
+    std::set<noc::NodeId> vertex_set;
+    while (static_cast<int>(vertex_set.size()) < n) {
+        vertex_set.insert(static_cast<noc::NodeId>(
+            rng.nextBelow(static_cast<std::uint64_t>(mesh.nodeCount()))));
+    }
+    std::vector<noc::NodeId> vertices(vertex_set.begin(),
+                                      vertex_set.end());
+
+    // Brute force over spanning trees via Prüfer-free enumeration:
+    // for small n, enumerate all edge subsets of size n-1.
+    struct Edge
+    {
+        int a, b;
+        std::int32_t w;
+    };
+    std::vector<Edge> edges;
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            edges.push_back(
+                {i, j, mesh.distance(vertices[static_cast<std::size_t>(i)],
+                                     vertices[static_cast<std::size_t>(j)])});
+        }
+    }
+    std::int64_t best = INT64_MAX;
+    const int m = static_cast<int>(edges.size());
+    for (int mask = 0; mask < (1 << m); ++mask) {
+        if (__builtin_popcount(static_cast<unsigned>(mask)) != n - 1)
+            continue;
+        ndp::DisjointSet ds(static_cast<std::size_t>(n));
+        std::int64_t w = 0;
+        for (int e = 0; e < m; ++e) {
+            if (mask & (1 << e)) {
+                ds.unite(static_cast<std::size_t>(edges[e].a),
+                         static_cast<std::size_t>(edges[e].b));
+                w += edges[e].w;
+            }
+        }
+        if (ds.setCount() == 1)
+            best = std::min(best, w);
+    }
+
+    // Kruskal via the splitter: use a flat statement whose operands sit
+    // at vertices[1..]; the store is vertices[0]. The MST edge list the
+    // splitter reports must have the brute-force weight.
+    std::string src = "array OUT[8];\n";
+    std::string rhs;
+    for (int i = 1; i < n; ++i) {
+        src += "array V" + std::to_string(i) + "[8];\n";
+        if (i > 1)
+            rhs += " + ";
+        rhs += "V" + std::to_string(i) + "[i]";
+    }
+    src += "for i = 0..8 { OUT[i] = " + rhs + "; }";
+    ir::ArrayTable arrays;
+    ir::LoopNest nest = ir::parseKernel(src, "t", arrays);
+    const ir::VarSet sets = ir::buildVarSets(nest.body().front());
+
+    std::vector<Location> locations;
+    for (int i = 1; i < n; ++i) {
+        Location loc;
+        loc.node = vertices[static_cast<std::size_t>(i)];
+        locations.push_back(loc);
+    }
+    StatementSplitter splitter(mesh);
+    SplitResult result =
+        splitter.split(sets, locations, vertices[0]);
+
+    std::int64_t kruskal_weight = 0;
+    for (const MstEdge &e : result.edges)
+        kruskal_weight += e.weight;
+    EXPECT_EQ(kruskal_weight, best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstOptimalityTest,
+                         ::testing::Range(1, 17));
+
+// ------------------------------------------------------------ SyncGraph
+
+TEST(SyncGraphTest, ArcAndReachability)
+{
+    SyncGraph graph;
+    for (int i = 0; i < 4; ++i)
+        graph.addNode();
+    graph.addArc(0, 1);
+    graph.addArc(1, 2);
+    EXPECT_TRUE(graph.reachable(0, 2));
+    EXPECT_FALSE(graph.reachable(2, 0));
+    EXPECT_EQ(graph.arcCount(), 2u);
+    graph.addArc(0, 1); // duplicate ignored
+    EXPECT_EQ(graph.arcCount(), 2u);
+}
+
+TEST(SyncGraphTest, PaperChainExample)
+{
+    // Chain sub1 -> sub2 -> ... -> subr plus a direct sub1 -> subr arc:
+    // the direct arc is redundant (Section 4.5).
+    SyncGraph graph;
+    const int r = 5;
+    for (int i = 0; i < r; ++i)
+        graph.addNode();
+    for (int i = 0; i + 1 < r; ++i)
+        graph.addArc(i, i + 1);
+    graph.addArc(0, r - 1); // redundant
+    EXPECT_TRUE(graph.impliedByOthers(0, r - 1));
+    const std::size_t removed = graph.transitiveReduce();
+    EXPECT_EQ(removed, 1u);
+    EXPECT_TRUE(graph.reachable(0, r - 1)); // ordering preserved
+    EXPECT_EQ(graph.arcCount(), static_cast<std::size_t>(r - 1));
+}
+
+TEST(SyncGraphTest, NonRedundantArcsSurvive)
+{
+    SyncGraph graph;
+    for (int i = 0; i < 3; ++i)
+        graph.addNode();
+    graph.addArc(0, 1);
+    graph.addArc(0, 2);
+    EXPECT_EQ(graph.transitiveReduce(), 0u);
+    EXPECT_EQ(graph.arcCount(), 2u);
+}
+
+TEST(SyncGraphTest, SelfArcRejected)
+{
+    SyncGraph graph;
+    graph.addNode();
+    EXPECT_THROW(graph.addArc(0, 0), PanicError);
+}
+
+/** Property: reduction preserves the reachability relation. */
+class SyncGraphPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SyncGraphPropertyTest, ReductionPreservesReachability)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 77);
+    SyncGraph graph;
+    const int n = 10;
+    for (int i = 0; i < n; ++i)
+        graph.addNode();
+    // Random DAG: arcs only forward.
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            if (rng.nextBool(0.3))
+                graph.addArc(i, j);
+        }
+    }
+    bool before[10][10];
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            before[i][j] = graph.reachable(i, j);
+    graph.transitiveReduce();
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            EXPECT_EQ(graph.reachable(i, j), before[i][j])
+                << i << "->" << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyncGraphPropertyTest,
+                         ::testing::Range(1, 13));
+
+} // namespace

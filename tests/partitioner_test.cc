@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Integration tests for the full partitioner (Algorithm 1): plan
+ * structure, dependence safety, window behaviour, fallback handling
+ * of unanalyzable statements, determinism, and the paper's worked
+ * multi-statement scenarios.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/default_placement.h"
+#include "ir/parser.h"
+#include "partition/partitioner.h"
+#include "sim/engine.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace ndp;
+using namespace ndp::partition;
+
+class PartitionerTest : public ::testing::Test
+{
+  protected:
+    PartitionerTest()
+        : system(config)
+    {
+    }
+
+    /** Parse a nest and produce a default assignment for it. */
+    ir::LoopNest
+    parse(const std::string &src, const ir::ParamMap &params = {})
+    {
+        return ir::parseKernel(src, "test", arrays, params);
+    }
+
+    std::vector<noc::NodeId>
+    defaults(const ir::LoopNest &nest)
+    {
+        baseline::DefaultPlacement placement(system, arrays);
+        return placement.assignIterations(nest);
+    }
+
+    /** Checks every structural invariant a plan must satisfy. */
+    void
+    checkPlanInvariants(const sim::ExecutionPlan &plan,
+                        const ir::LoopNest &nest)
+    {
+        const auto stmt_count =
+            static_cast<std::int64_t>(nest.body().size());
+        const std::int64_t expected_instances =
+            nest.iterationCount() * stmt_count;
+        EXPECT_EQ(static_cast<std::int64_t>(plan.instances.size()),
+                  expected_instances);
+
+        std::set<std::pair<std::int64_t, std::int32_t>> with_write;
+        for (std::size_t t = 0; t < plan.tasks.size(); ++t) {
+            const sim::Task &task = plan.tasks[t];
+            EXPECT_EQ(task.id, static_cast<sim::TaskId>(t));
+            EXPECT_GE(task.node, 0);
+            EXPECT_LT(task.node, system.mesh().nodeCount());
+            for (sim::TaskId dep : task.deps) {
+                EXPECT_GE(dep, 0);
+                EXPECT_LT(dep, task.id) << "dep must precede task";
+            }
+            if (task.write) {
+                with_write.emplace(task.iterationNumber,
+                                   task.statementIndex);
+            }
+        }
+        // Every statement instance stores its result exactly once.
+        EXPECT_EQ(static_cast<std::int64_t>(with_write.size()),
+                  expected_instances);
+    }
+
+    sim::ManycoreConfig config;
+    sim::ManycoreSystem system;
+    ir::ArrayTable arrays;
+};
+
+TEST_F(PartitionerTest, PlanCoversAllInstances)
+{
+    ir::LoopNest nest = parse(R"(
+        array A[256] bytes 64; array B[256] bytes 64;
+        array C[256] bytes 64; array D[256] bytes 64;
+        array E[256] bytes 64;
+        for i = 0..256 {
+          S1: A[i] = B[i] + C[i] + D[i] + E[i];
+          S2: D[i] = C[i] * E[i];
+        })");
+    Partitioner partitioner(system, arrays);
+    const auto plan = partitioner.plan(nest, defaults(nest));
+    checkPlanInvariants(plan, nest);
+    EXPECT_GE(plan.tasks.size(), plan.instances.size());
+}
+
+TEST_F(PartitionerTest, RootTaskWritesAtStoreNode)
+{
+    ir::LoopNest nest = parse(R"(
+        array A[64] bytes 64; array B[64] bytes 64;
+        array C[64] bytes 64; array D[64] bytes 64;
+        for i = 0..64 { A[i] = B[i] + C[i] + D[i]; })");
+    Partitioner partitioner(system, arrays);
+    const auto plan = partitioner.plan(nest, defaults(nest));
+    for (const sim::Task &task : plan.tasks) {
+        if (task.write && task.isSubcomputation) {
+            // A re-mapped writer sits at the output's home node
+            // (Section 4.3: the result is stored where it lives).
+            EXPECT_EQ(task.node,
+                      system.addressMap().homeBankNode(
+                          task.write->addr));
+        }
+    }
+}
+
+TEST_F(PartitionerTest, FlowDependenceOrdersTasks)
+{
+    ir::LoopNest nest = parse(R"(
+        array A[64] bytes 64; array B[64] bytes 64;
+        array C[64] bytes 64; array G[64] bytes 64;
+        for i = 0..64 {
+          S1: A[i] = B[i] + C[i];
+          S2: G[i] = A[i] + B[i];
+        })");
+    Partitioner partitioner(system, arrays);
+    const auto plan = partitioner.plan(nest, defaults(nest));
+    checkPlanInvariants(plan, nest);
+
+    // For every iteration: the S2 task consuming A[i] must depend
+    // (transitively) on S1's writer of A[i].
+    std::vector<sim::TaskId> writer_of_s1(64, sim::kInvalidTask);
+    for (const sim::Task &task : plan.tasks) {
+        if (task.statementIndex == 0 && task.write)
+            writer_of_s1[static_cast<std::size_t>(
+                task.iterationNumber)] = task.id;
+    }
+    // Transitive reachability over deps.
+    auto reaches = [&](sim::TaskId from, sim::TaskId to) {
+        std::vector<sim::TaskId> stack{to};
+        std::set<sim::TaskId> seen;
+        while (!stack.empty()) {
+            const sim::TaskId cur = stack.back();
+            stack.pop_back();
+            if (cur == from)
+                return true;
+            for (sim::TaskId d :
+                 plan.tasks[static_cast<std::size_t>(cur)].deps) {
+                if (seen.insert(d).second)
+                    stack.push_back(d);
+            }
+        }
+        return false;
+    };
+    int checked = 0;
+    for (const sim::Task &task : plan.tasks) {
+        if (task.statementIndex == 1 && task.write) {
+            const sim::TaskId writer = writer_of_s1[
+                static_cast<std::size_t>(task.iterationNumber)];
+            ASSERT_NE(writer, sim::kInvalidTask);
+            EXPECT_TRUE(reaches(writer, task.id))
+                << "S2 iteration " << task.iterationNumber
+                << " does not wait for S1's store";
+            ++checked;
+        }
+    }
+    EXPECT_EQ(checked, 64);
+}
+
+TEST_F(PartitionerTest, UnanalyzableStatementsStayOnDefaultNodes)
+{
+    ir::LoopNest nest = parse(R"(
+        array X[64] bytes 64; array Y[64] bytes 64;
+        array Z[64] bytes 64;
+        for i = 0..64 { Z[i] = X[Y[i]] + Z[i]; })");
+    // No inspector: the indirect statement cannot be split.
+    std::vector<std::int64_t> idx(64);
+    for (int i = 0; i < 64; ++i)
+        idx[static_cast<std::size_t>(i)] = (i * 7) % 64;
+    arrays.setIndexData(arrays.find("Y"), idx);
+
+    const auto nodes = defaults(nest);
+    Partitioner partitioner(system, arrays);
+    const auto plan = partitioner.plan(nest, nodes);
+    checkPlanInvariants(plan, nest);
+    EXPECT_EQ(partitioner.report().statementsSplit, 0);
+    for (const sim::Task &task : plan.tasks) {
+        EXPECT_EQ(task.node,
+                  nodes[static_cast<std::size_t>(task.iterationNumber)]);
+        EXPECT_FALSE(task.isSubcomputation);
+    }
+}
+
+TEST_F(PartitionerTest, InspectorEnablesSplittingIndirectStatements)
+{
+    ir::LoopNest nest = parse(R"(
+        array X[64] bytes 64; array Y[64] bytes 64;
+        array Z[64] bytes 64; array W[64] bytes 64;
+        array V[64] bytes 64;
+        for i = 0..64 { Z[i] = X[Y[i]] + W[i] + V[i] + Z[i]; })");
+    nest.timingTrips = 4;
+    nest.inspectorTrips = 1;
+    std::vector<std::int64_t> idx(64);
+    for (int i = 0; i < 64; ++i)
+        idx[static_cast<std::size_t>(i)] = (i * 13) % 64;
+    arrays.setIndexData(arrays.find("Y"), idx);
+
+    Partitioner partitioner(system, arrays);
+    const auto plan = partitioner.plan(nest, defaults(nest));
+    checkPlanInvariants(plan, nest);
+    EXPECT_GT(partitioner.report().statementsSplit, 0);
+}
+
+TEST_F(PartitionerTest, OracleSplitsWithoutInspector)
+{
+    ir::LoopNest nest = parse(R"(
+        array X[64] bytes 64; array Y[64] bytes 64;
+        array Z[64] bytes 64; array W[64] bytes 64;
+        array V[64] bytes 64;
+        for i = 0..64 { Z[i] = X[Y[i]] + W[i] + V[i] + Z[i]; })");
+    std::vector<std::int64_t> idx(64);
+    for (int i = 0; i < 64; ++i)
+        idx[static_cast<std::size_t>(i)] = (i * 13) % 64;
+    arrays.setIndexData(arrays.find("Y"), idx);
+
+    PartitionOptions options;
+    options.oracle = true;
+    Partitioner partitioner(system, arrays, options);
+    const auto plan = partitioner.plan(nest, defaults(nest));
+    EXPECT_GT(partitioner.report().statementsSplit, 0);
+}
+
+TEST_F(PartitionerTest, FixedWindowSizeIsRespected)
+{
+    ir::LoopNest nest = parse(R"(
+        array A[128] bytes 64; array B[128] bytes 64;
+        array C[128] bytes 64;
+        for i = 0..128 { A[i] = B[i] + C[i]; })");
+    const auto nodes = defaults(nest);
+    for (std::int32_t w : {1, 3, 8}) {
+        PartitionOptions options;
+        options.fixedWindowSize = w;
+        Partitioner partitioner(system, arrays, options);
+        const auto plan = partitioner.plan(nest, nodes);
+        EXPECT_EQ(plan.windowSize, w);
+        EXPECT_EQ(partitioner.report().chosenWindowSize, w);
+        EXPECT_EQ(partitioner.report().movementPerWindowSize.size(),
+                  1u);
+    }
+}
+
+TEST_F(PartitionerTest, AdaptiveWindowPicksMinimumMovement)
+{
+    ir::LoopNest nest = parse(R"(
+        array A[128] bytes 64; array B[128] bytes 64;
+        array C[128] bytes 64; array X[128] bytes 64;
+        array Y[128] bytes 64;
+        for i = 0..128 {
+          S1: A[i] = B[i] + C[i];
+          S2: X[i] = Y[i] + C[i];
+        })");
+    Partitioner partitioner(system, arrays);
+    (void)partitioner.plan(nest, defaults(nest));
+    const auto &report = partitioner.report();
+    ASSERT_EQ(report.movementPerWindowSize.size(), 8u);
+    const std::int64_t chosen = report.movementPerWindowSize
+        [static_cast<std::size_t>(report.chosenWindowSize - 1)];
+    for (std::int64_t movement : report.movementPerWindowSize)
+        EXPECT_LE(chosen, movement);
+    EXPECT_EQ(report.plannedMovement, chosen);
+}
+
+TEST_F(PartitionerTest, ReuseAwareNeverMovesMoreThanReuseAgnostic)
+{
+    ir::LoopNest nest = parse(R"(
+        array A[128] bytes 64; array B[128] bytes 64;
+        array C[128] bytes 64; array X[128] bytes 64;
+        array Y[128] bytes 64;
+        for i = 0..128 {
+          S1: A[i] = B[i] + C[i] + Y[i];
+          S2: X[i] = Y[i] + C[i] + B[i];
+        })");
+    const auto nodes = defaults(nest);
+    PartitionOptions aware;
+    Partitioner with_reuse(system, arrays, aware);
+    (void)with_reuse.plan(nest, nodes);
+
+    PartitionOptions agnostic;
+    agnostic.exploitReuse = false;
+    Partitioner without_reuse(system, arrays, agnostic);
+    (void)without_reuse.plan(nest, nodes);
+
+    EXPECT_LE(with_reuse.report().plannedMovement,
+              without_reuse.report().plannedMovement);
+}
+
+TEST_F(PartitionerTest, DeterministicPlans)
+{
+    ir::LoopNest nest = parse(R"(
+        array A[64] bytes 64; array B[64] bytes 64;
+        array C[64] bytes 64; array D[64] bytes 64;
+        for i = 0..64 { A[i] = B[i] + C[i] + D[i]; })");
+    const auto nodes = defaults(nest);
+    Partitioner p1(system, arrays);
+    Partitioner p2(system, arrays);
+    const auto plan1 = p1.plan(nest, nodes);
+    const auto plan2 = p2.plan(nest, nodes);
+    ASSERT_EQ(plan1.tasks.size(), plan2.tasks.size());
+    for (std::size_t t = 0; t < plan1.tasks.size(); ++t) {
+        EXPECT_EQ(plan1.tasks[t].node, plan2.tasks[t].node);
+        EXPECT_EQ(plan1.tasks[t].deps, plan2.tasks[t].deps);
+    }
+}
+
+TEST_F(PartitionerTest, GuardReadsAttachToRootTask)
+{
+    ir::LoopNest nest = parse(R"(
+        array A[64] bytes 64; array B[64] bytes 64;
+        array C[64] bytes 64; array D[64] bytes 64;
+        array H[64] bytes 64;
+        for i = 0..64 { S1: if (H[i]) A[i] = B[i] + C[i] + D[i]; })");
+    Partitioner partitioner(system, arrays);
+    const auto plan = partitioner.plan(nest, defaults(nest));
+    // Wherever S1 was split, the guard operand H[i] is read by the
+    // task that also stores (the duplicated conditional evaluates with
+    // the final merge).
+    const ir::ArrayId h = arrays.find("H");
+    for (const sim::Task &task : plan.tasks) {
+        bool reads_h = false;
+        for (const sim::MemAccess &read : task.reads)
+            reads_h = reads_h || read.array == h;
+        if (reads_h && task.isSubcomputation) {
+            EXPECT_TRUE(task.write.has_value());
+        }
+    }
+    checkPlanInvariants(plan, nest);
+}
+
+TEST_F(PartitionerTest, RejectsMismatchedAssignment)
+{
+    ir::LoopNest nest = parse(R"(
+        array A[16]; array B[16];
+        for i = 0..16 { A[i] = B[i]; })");
+    Partitioner partitioner(system, arrays);
+    std::vector<noc::NodeId> wrong_size(3, 0);
+    EXPECT_THROW(partitioner.plan(nest, wrong_size), FatalError);
+}
+
+TEST_F(PartitionerTest, MovementReductionReportedAgainstDefault)
+{
+    ir::LoopNest nest = parse(R"(
+        array A[256] bytes 64; array B[256] bytes 64;
+        array C[256] bytes 64; array D[256] bytes 64;
+        array E[256] bytes 64;
+        for i = 0..256 { A[i] = B[i] + C[i] + D[i] + E[i]; })");
+    Partitioner partitioner(system, arrays);
+    (void)partitioner.plan(nest, defaults(nest));
+    const auto &report = partitioner.report();
+    EXPECT_GT(report.defaultMovement, 0);
+    EXPECT_LE(report.plannedMovement, report.defaultMovement);
+    EXPECT_GT(report.movementReductionPct.mean(), 0.0);
+}
+
+} // namespace
