@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_data_movement.dir/fig13_data_movement.cc.o"
+  "CMakeFiles/fig13_data_movement.dir/fig13_data_movement.cc.o.d"
+  "fig13_data_movement"
+  "fig13_data_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_data_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_parallelism.dir/fig14_parallelism.cc.o"
+  "CMakeFiles/fig14_parallelism.dir/fig14_parallelism.cc.o.d"
+  "fig14_parallelism"
+  "fig14_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_synchronization.dir/fig15_synchronization.cc.o"
+  "CMakeFiles/fig15_synchronization.dir/fig15_synchronization.cc.o.d"
+  "fig15_synchronization"
+  "fig15_synchronization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_synchronization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_l1_hit_rate.dir/fig16_l1_hit_rate.cc.o"
+  "CMakeFiles/fig16_l1_hit_rate.dir/fig16_l1_hit_rate.cc.o.d"
+  "fig16_l1_hit_rate"
+  "fig16_l1_hit_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_l1_hit_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_l1_hit_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_execution_time.dir/fig17_execution_time.cc.o"
+  "CMakeFiles/fig17_execution_time.dir/fig17_execution_time.cc.o.d"
+  "fig17_execution_time"
+  "fig17_execution_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_execution_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_metric_isolation.dir/fig18_metric_isolation.cc.o"
+  "CMakeFiles/fig18_metric_isolation.dir/fig18_metric_isolation.cc.o.d"
+  "fig18_metric_isolation"
+  "fig18_metric_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_metric_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

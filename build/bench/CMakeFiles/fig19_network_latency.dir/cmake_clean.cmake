@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_network_latency.dir/fig19_network_latency.cc.o"
+  "CMakeFiles/fig19_network_latency.dir/fig19_network_latency.cc.o.d"
+  "fig19_network_latency"
+  "fig19_network_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_network_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

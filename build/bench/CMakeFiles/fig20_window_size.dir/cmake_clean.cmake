@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_window_size.dir/fig20_window_size.cc.o"
+  "CMakeFiles/fig20_window_size.dir/fig20_window_size.cc.o.d"
+  "fig20_window_size"
+  "fig20_window_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_window_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_window_l1.dir/fig21_window_l1.cc.o"
+  "CMakeFiles/fig21_window_l1.dir/fig21_window_l1.cc.o.d"
+  "fig21_window_l1"
+  "fig21_window_l1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_window_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig22_knl_configs.cc" "bench/CMakeFiles/fig22_knl_configs.dir/fig22_knl_configs.cc.o" "gcc" "bench/CMakeFiles/fig22_knl_configs.dir/fig22_knl_configs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/ndp_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ndp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ndp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ndp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ndp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ndp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ndp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ndp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ndp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

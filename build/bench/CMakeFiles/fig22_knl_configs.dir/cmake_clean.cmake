@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_knl_configs.dir/fig22_knl_configs.cc.o"
+  "CMakeFiles/fig22_knl_configs.dir/fig22_knl_configs.cc.o.d"
+  "fig22_knl_configs"
+  "fig22_knl_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_knl_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_data_mapping.dir/fig23_data_mapping.cc.o"
+  "CMakeFiles/fig23_data_mapping.dir/fig23_data_mapping.cc.o.d"
+  "fig23_data_mapping"
+  "fig23_data_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_data_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

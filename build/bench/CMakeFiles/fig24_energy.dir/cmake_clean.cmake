@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_energy.dir/fig24_energy.cc.o"
+  "CMakeFiles/fig24_energy.dir/fig24_energy.cc.o.d"
+  "fig24_energy"
+  "fig24_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_partitioner.dir/micro_partitioner.cc.o"
+  "CMakeFiles/micro_partitioner.dir/micro_partitioner.cc.o.d"
+  "micro_partitioner"
+  "micro_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

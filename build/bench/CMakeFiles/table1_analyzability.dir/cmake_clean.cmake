@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_analyzability.dir/table1_analyzability.cc.o"
+  "CMakeFiles/table1_analyzability.dir/table1_analyzability.cc.o.d"
+  "table1_analyzability"
+  "table1_analyzability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_analyzability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_predictor.dir/table2_predictor.cc.o"
+  "CMakeFiles/table2_predictor.dir/table2_predictor.cc.o.d"
+  "table2_predictor"
+  "table2_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_op_mix.dir/table3_op_mix.cc.o"
+  "CMakeFiles/table3_op_mix.dir/table3_op_mix.cc.o.d"
+  "table3_op_mix"
+  "table3_op_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_op_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_minimd.dir/irregular_minimd.cpp.o"
+  "CMakeFiles/irregular_minimd.dir/irregular_minimd.cpp.o.d"
+  "irregular_minimd"
+  "irregular_minimd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_minimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for irregular_minimd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpc.dir/ndpc.cpp.o"
+  "CMakeFiles/ndpc.dir/ndpc.cpp.o.d"
+  "ndpc"
+  "ndpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

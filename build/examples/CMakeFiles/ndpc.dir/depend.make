@@ -1,0 +1,2 @@
+# Empty dependencies file for ndpc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_ocean.dir/stencil_ocean.cpp.o"
+  "CMakeFiles/stencil_ocean.dir/stencil_ocean.cpp.o.d"
+  "stencil_ocean"
+  "stencil_ocean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

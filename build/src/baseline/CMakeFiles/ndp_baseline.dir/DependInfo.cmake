@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/data_to_mc.cc" "src/baseline/CMakeFiles/ndp_baseline.dir/data_to_mc.cc.o" "gcc" "src/baseline/CMakeFiles/ndp_baseline.dir/data_to_mc.cc.o.d"
+  "/root/repo/src/baseline/default_placement.cc" "src/baseline/CMakeFiles/ndp_baseline.dir/default_placement.cc.o" "gcc" "src/baseline/CMakeFiles/ndp_baseline.dir/default_placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ndp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ndp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ndp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ndp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ndp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_baseline.dir/data_to_mc.cc.o"
+  "CMakeFiles/ndp_baseline.dir/data_to_mc.cc.o.d"
+  "CMakeFiles/ndp_baseline.dir/default_placement.cc.o"
+  "CMakeFiles/ndp_baseline.dir/default_placement.cc.o.d"
+  "libndp_baseline.a"
+  "libndp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_driver.dir/experiment.cc.o"
+  "CMakeFiles/ndp_driver.dir/experiment.cc.o.d"
+  "libndp_driver.a"
+  "libndp_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

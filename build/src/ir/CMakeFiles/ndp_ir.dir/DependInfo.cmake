@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/affine.cc" "src/ir/CMakeFiles/ndp_ir.dir/affine.cc.o" "gcc" "src/ir/CMakeFiles/ndp_ir.dir/affine.cc.o.d"
+  "/root/repo/src/ir/array.cc" "src/ir/CMakeFiles/ndp_ir.dir/array.cc.o" "gcc" "src/ir/CMakeFiles/ndp_ir.dir/array.cc.o.d"
+  "/root/repo/src/ir/dependence.cc" "src/ir/CMakeFiles/ndp_ir.dir/dependence.cc.o" "gcc" "src/ir/CMakeFiles/ndp_ir.dir/dependence.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/ir/CMakeFiles/ndp_ir.dir/expr.cc.o" "gcc" "src/ir/CMakeFiles/ndp_ir.dir/expr.cc.o.d"
+  "/root/repo/src/ir/instance.cc" "src/ir/CMakeFiles/ndp_ir.dir/instance.cc.o" "gcc" "src/ir/CMakeFiles/ndp_ir.dir/instance.cc.o.d"
+  "/root/repo/src/ir/nested_sets.cc" "src/ir/CMakeFiles/ndp_ir.dir/nested_sets.cc.o" "gcc" "src/ir/CMakeFiles/ndp_ir.dir/nested_sets.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/ndp_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/ndp_ir.dir/parser.cc.o.d"
+  "/root/repo/src/ir/statement.cc" "src/ir/CMakeFiles/ndp_ir.dir/statement.cc.o" "gcc" "src/ir/CMakeFiles/ndp_ir.dir/statement.cc.o.d"
+  "/root/repo/src/ir/transform.cc" "src/ir/CMakeFiles/ndp_ir.dir/transform.cc.o" "gcc" "src/ir/CMakeFiles/ndp_ir.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ndp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ndp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ndp_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

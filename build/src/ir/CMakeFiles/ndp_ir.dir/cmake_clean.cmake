@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_ir.dir/affine.cc.o"
+  "CMakeFiles/ndp_ir.dir/affine.cc.o.d"
+  "CMakeFiles/ndp_ir.dir/array.cc.o"
+  "CMakeFiles/ndp_ir.dir/array.cc.o.d"
+  "CMakeFiles/ndp_ir.dir/dependence.cc.o"
+  "CMakeFiles/ndp_ir.dir/dependence.cc.o.d"
+  "CMakeFiles/ndp_ir.dir/expr.cc.o"
+  "CMakeFiles/ndp_ir.dir/expr.cc.o.d"
+  "CMakeFiles/ndp_ir.dir/instance.cc.o"
+  "CMakeFiles/ndp_ir.dir/instance.cc.o.d"
+  "CMakeFiles/ndp_ir.dir/nested_sets.cc.o"
+  "CMakeFiles/ndp_ir.dir/nested_sets.cc.o.d"
+  "CMakeFiles/ndp_ir.dir/parser.cc.o"
+  "CMakeFiles/ndp_ir.dir/parser.cc.o.d"
+  "CMakeFiles/ndp_ir.dir/statement.cc.o"
+  "CMakeFiles/ndp_ir.dir/statement.cc.o.d"
+  "CMakeFiles/ndp_ir.dir/transform.cc.o"
+  "CMakeFiles/ndp_ir.dir/transform.cc.o.d"
+  "libndp_ir.a"
+  "libndp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

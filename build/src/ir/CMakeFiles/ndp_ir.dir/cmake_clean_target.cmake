@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libndp_ir.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_mapping.cc" "src/mem/CMakeFiles/ndp_mem.dir/address_mapping.cc.o" "gcc" "src/mem/CMakeFiles/ndp_mem.dir/address_mapping.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/ndp_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/ndp_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/memory_controller.cc" "src/mem/CMakeFiles/ndp_mem.dir/memory_controller.cc.o" "gcc" "src/mem/CMakeFiles/ndp_mem.dir/memory_controller.cc.o.d"
+  "/root/repo/src/mem/miss_predictor.cc" "src/mem/CMakeFiles/ndp_mem.dir/miss_predictor.cc.o" "gcc" "src/mem/CMakeFiles/ndp_mem.dir/miss_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ndp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ndp_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

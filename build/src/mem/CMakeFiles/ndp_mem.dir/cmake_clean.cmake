@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_mem.dir/address_mapping.cc.o"
+  "CMakeFiles/ndp_mem.dir/address_mapping.cc.o.d"
+  "CMakeFiles/ndp_mem.dir/cache.cc.o"
+  "CMakeFiles/ndp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ndp_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/ndp_mem.dir/memory_controller.cc.o.d"
+  "CMakeFiles/ndp_mem.dir/miss_predictor.cc.o"
+  "CMakeFiles/ndp_mem.dir/miss_predictor.cc.o.d"
+  "libndp_mem.a"
+  "libndp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

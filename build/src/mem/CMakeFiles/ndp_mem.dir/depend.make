@@ -1,0 +1,2 @@
+# Empty dependencies file for ndp_mem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_noc.dir/mesh_topology.cc.o"
+  "CMakeFiles/ndp_noc.dir/mesh_topology.cc.o.d"
+  "CMakeFiles/ndp_noc.dir/noc_model.cc.o"
+  "CMakeFiles/ndp_noc.dir/noc_model.cc.o.d"
+  "CMakeFiles/ndp_noc.dir/traffic_matrix.cc.o"
+  "CMakeFiles/ndp_noc.dir/traffic_matrix.cc.o.d"
+  "libndp_noc.a"
+  "libndp_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/codegen.cc" "src/partition/CMakeFiles/ndp_partition.dir/codegen.cc.o" "gcc" "src/partition/CMakeFiles/ndp_partition.dir/codegen.cc.o.d"
+  "/root/repo/src/partition/data_locator.cc" "src/partition/CMakeFiles/ndp_partition.dir/data_locator.cc.o" "gcc" "src/partition/CMakeFiles/ndp_partition.dir/data_locator.cc.o.d"
+  "/root/repo/src/partition/inspector.cc" "src/partition/CMakeFiles/ndp_partition.dir/inspector.cc.o" "gcc" "src/partition/CMakeFiles/ndp_partition.dir/inspector.cc.o.d"
+  "/root/repo/src/partition/load_balancer.cc" "src/partition/CMakeFiles/ndp_partition.dir/load_balancer.cc.o" "gcc" "src/partition/CMakeFiles/ndp_partition.dir/load_balancer.cc.o.d"
+  "/root/repo/src/partition/partitioner.cc" "src/partition/CMakeFiles/ndp_partition.dir/partitioner.cc.o" "gcc" "src/partition/CMakeFiles/ndp_partition.dir/partitioner.cc.o.d"
+  "/root/repo/src/partition/splitter.cc" "src/partition/CMakeFiles/ndp_partition.dir/splitter.cc.o" "gcc" "src/partition/CMakeFiles/ndp_partition.dir/splitter.cc.o.d"
+  "/root/repo/src/partition/sync_graph.cc" "src/partition/CMakeFiles/ndp_partition.dir/sync_graph.cc.o" "gcc" "src/partition/CMakeFiles/ndp_partition.dir/sync_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ndp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ndp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ndp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ndp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ndp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_partition.dir/codegen.cc.o"
+  "CMakeFiles/ndp_partition.dir/codegen.cc.o.d"
+  "CMakeFiles/ndp_partition.dir/data_locator.cc.o"
+  "CMakeFiles/ndp_partition.dir/data_locator.cc.o.d"
+  "CMakeFiles/ndp_partition.dir/inspector.cc.o"
+  "CMakeFiles/ndp_partition.dir/inspector.cc.o.d"
+  "CMakeFiles/ndp_partition.dir/load_balancer.cc.o"
+  "CMakeFiles/ndp_partition.dir/load_balancer.cc.o.d"
+  "CMakeFiles/ndp_partition.dir/partitioner.cc.o"
+  "CMakeFiles/ndp_partition.dir/partitioner.cc.o.d"
+  "CMakeFiles/ndp_partition.dir/splitter.cc.o"
+  "CMakeFiles/ndp_partition.dir/splitter.cc.o.d"
+  "CMakeFiles/ndp_partition.dir/sync_graph.cc.o"
+  "CMakeFiles/ndp_partition.dir/sync_graph.cc.o.d"
+  "libndp_partition.a"
+  "libndp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

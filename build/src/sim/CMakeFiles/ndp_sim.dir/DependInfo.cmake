@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/ndp_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/ndp_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/ndp_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/ndp_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/manycore.cc" "src/sim/CMakeFiles/ndp_sim.dir/manycore.cc.o" "gcc" "src/sim/CMakeFiles/ndp_sim.dir/manycore.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/ndp_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/ndp_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ndp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ndp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ndp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ndp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

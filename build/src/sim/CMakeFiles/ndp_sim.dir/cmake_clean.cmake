@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_sim.dir/energy.cc.o"
+  "CMakeFiles/ndp_sim.dir/energy.cc.o.d"
+  "CMakeFiles/ndp_sim.dir/engine.cc.o"
+  "CMakeFiles/ndp_sim.dir/engine.cc.o.d"
+  "CMakeFiles/ndp_sim.dir/manycore.cc.o"
+  "CMakeFiles/ndp_sim.dir/manycore.cc.o.d"
+  "CMakeFiles/ndp_sim.dir/trace.cc.o"
+  "CMakeFiles/ndp_sim.dir/trace.cc.o.d"
+  "libndp_sim.a"
+  "libndp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

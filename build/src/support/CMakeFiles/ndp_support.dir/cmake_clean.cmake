@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_support.dir/stats.cc.o"
+  "CMakeFiles/ndp_support.dir/stats.cc.o.d"
+  "CMakeFiles/ndp_support.dir/table.cc.o"
+  "CMakeFiles/ndp_support.dir/table.cc.o.d"
+  "libndp_support.a"
+  "libndp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

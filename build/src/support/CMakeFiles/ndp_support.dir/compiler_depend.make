@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ndp_support.
+# This may be replaced when dependencies are built.

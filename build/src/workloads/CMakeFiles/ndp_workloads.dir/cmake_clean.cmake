@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_workloads.dir/workload.cc.o"
+  "CMakeFiles/ndp_workloads.dir/workload.cc.o.d"
+  "libndp_workloads.a"
+  "libndp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

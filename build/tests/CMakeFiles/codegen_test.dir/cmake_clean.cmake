@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_test.dir/codegen_test.cc.o"
+  "CMakeFiles/codegen_test.dir/codegen_test.cc.o.d"
+  "codegen_test"
+  "codegen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_behavior_test.dir/window_behavior_test.cc.o"
+  "CMakeFiles/window_behavior_test.dir/window_behavior_test.cc.o.d"
+  "window_behavior_test"
+  "window_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
