@@ -6,6 +6,9 @@
  * the torus shortens worst-case distances, so the default gets faster
  * and the absolute movement drops — but the partitioner's relative
  * improvement should survive, which is the claim under test.
+ *
+ * Both configs for all apps fan out across NDP_BENCH_THREADS workers;
+ * the table is bit-identical for any thread count (timing on stderr).
  */
 
 #include "bench_common.h"
@@ -17,33 +20,37 @@ main()
     bench::banner("ablation_topology", "Section 2 topology template");
 
     driver::ExperimentConfig mesh_cfg;
-    driver::ExperimentRunner mesh(mesh_cfg);
 
     driver::ExperimentConfig torus_cfg;
     torus_cfg.machine.torus = true;
-    driver::ExperimentRunner torus(torus_cfg);
+
+    const bench::SweepOutcome sweep =
+        bench::runSweep({mesh_cfg, torus_cfg});
 
     Table table({"app", "mesh improvement%", "torus improvement%",
                  "torus default speedup%"});
     std::vector<double> v_mesh, v_torus;
-    bench::forEachApp([&](const workloads::Workload &w) {
-        const auto m = mesh.runApp(w);
-        const auto t = torus.runApp(w);
+    for (std::size_t a = 0; a < sweep.apps.size(); ++a) {
+        const driver::AppResult &m = sweep.grid[a][0].result;
+        const driver::AppResult &t = sweep.grid[a][1].result;
         v_mesh.push_back(m.execTimeReductionPct());
         v_torus.push_back(t.execTimeReductionPct());
         table.row()
-            .cell(w.name)
+            .cell(sweep.apps[a].name)
             .cell(v_mesh.back())
             .cell(v_torus.back())
             .cell(percentReduction(
                 static_cast<double>(m.defaultMakespan),
                 static_cast<double>(t.defaultMakespan)));
-    });
+    }
     table.row()
         .cell("geomean")
         .cell(driver::geomeanPct(v_mesh))
         .cell(driver::geomeanPct(v_torus))
         .cell("");
     table.print(std::cout);
+
+    bench::timingTable({"mesh", "torus"}, sweep.apps, sweep.grid);
+    bench::timingFooter(sweep.stats);
     return 0;
 }

@@ -5,7 +5,12 @@
  * @file
  * Shared scaffolding for the figure/table reproduction harnesses: a
  * common workload scale (overridable via NDP_BENCH_SCALE), per-app
- * iteration, and uniform headers so outputs are diffable.
+ * iteration, parallel (app x config) sweeps (worker count overridable
+ * via NDP_BENCH_THREADS), and uniform headers so outputs are diffable.
+ *
+ * Output discipline: result tables go to stdout and are bit-identical
+ * for any thread count; wall-clock timing (inherently nondeterministic)
+ * goes to stderr so `bench > table.txt` stays diffable across runs.
  */
 
 #include <cstdlib>
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "driver/experiment.h"
+#include "driver/sweep.h"
 #include "support/table.h"
 #include "workloads/workload.h"
 
@@ -32,6 +38,21 @@ benchScale()
     return 2048;
 }
 
+/** Sweep worker count: NDP_BENCH_THREADS env var or all cores. */
+inline int
+benchThreads()
+{
+    return driver::SweepRunner::defaultThreads();
+}
+
+/** The paper's 12 applications at the bench scale. */
+inline std::vector<workloads::Workload>
+allApps()
+{
+    workloads::WorkloadFactory factory(benchScale());
+    return factory.buildAll();
+}
+
 /** Run @p fn on each of the paper's 12 applications. */
 inline void
 forEachApp(const std::function<void(const workloads::Workload &)> &fn)
@@ -43,6 +64,31 @@ forEachApp(const std::function<void(const workloads::Workload &)> &fn)
     }
 }
 
+/** Everything one parallel (app x config) sweep produces. */
+struct SweepOutcome
+{
+    std::vector<workloads::Workload> apps;
+    /** grid[a][c]: apps[a] under configs[c], submission order. */
+    std::vector<std::vector<driver::SweepCell>> grid;
+    driver::SweepStats stats;
+};
+
+/**
+ * Run every app under every config on a SweepRunner. The grid layout
+ * — and thus any stdout table built from it — is independent of the
+ * thread count; only the wallSeconds fields vary.
+ */
+inline SweepOutcome
+runSweep(const std::vector<driver::ExperimentConfig> &configs)
+{
+    SweepOutcome outcome;
+    outcome.apps = allApps();
+    driver::SweepRunner runner(benchThreads());
+    outcome.grid = runner.runGrid(outcome.apps, configs);
+    outcome.stats = runner.stats();
+    return outcome;
+}
+
 /** Print the standard harness banner. */
 inline void
 banner(const std::string &experiment, const std::string &paper_ref)
@@ -51,6 +97,43 @@ banner(const std::string &experiment, const std::string &paper_ref)
               << " ==\n"
               << "(scale " << benchScale()
               << "; set NDP_BENCH_SCALE to change)\n\n";
+}
+
+/**
+ * Print the sweep's wall-clock summary — to stderr, because timing is
+ * the one nondeterministic output and stdout must stay diffable across
+ * thread counts (the determinism contract of driver::SweepRunner).
+ */
+inline void
+timingFooter(const driver::SweepStats &stats)
+{
+    std::clog << "[sweep] " << stats.cells << " runs on "
+              << stats.threads << " thread(s): " << stats.wallSeconds
+              << "s wall, " << stats.cellSecondsSum
+              << "s serial-equivalent (speedup x" << stats.speedup()
+              << "; set NDP_BENCH_THREADS to change)\n";
+}
+
+/**
+ * Per-app wall-clock table (stderr, same rationale as timingFooter).
+ * @p labels names each config column.
+ */
+inline void
+timingTable(const std::vector<std::string> &labels,
+            const std::vector<workloads::Workload> &apps,
+            const std::vector<std::vector<driver::SweepCell>> &grid)
+{
+    std::vector<std::string> headers = {"app"};
+    for (const std::string &label : labels)
+        headers.push_back(label + " s");
+    Table table(headers);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        table.row().cell(apps[a].name);
+        for (const driver::SweepCell &cell : grid[a])
+            table.cell(cell.wallSeconds, 3);
+    }
+    std::clog << "[sweep] per-run wall-clock seconds:\n";
+    table.print(std::clog);
 }
 
 } // namespace ndp::bench

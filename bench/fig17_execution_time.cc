@@ -5,6 +5,9 @@
  * compiler approach, (2) the ideal-network scenario (all messages take
  * 0 cycles), and (3) ideal data analysis (perfect locations and
  * disambiguation). Paper geomeans: 18.4% / 24.4% / 22.3%.
+ *
+ * All 36 (app, config) runs fan out across NDP_BENCH_THREADS workers;
+ * the table is bit-identical for any thread count (timing on stderr).
  */
 
 #include "bench_common.h"
@@ -15,37 +18,41 @@ main()
     using namespace ndp;
     bench::banner("fig17_execution_time", "Figure 17");
 
-    driver::ExperimentRunner ours;
+    driver::ExperimentConfig ours_cfg;
 
     driver::ExperimentConfig ideal_net_cfg;
     ideal_net_cfg.optimizeComputation = false;
     ideal_net_cfg.idealNetwork = true;
-    driver::ExperimentRunner ideal_net(ideal_net_cfg);
 
     driver::ExperimentConfig oracle_cfg;
     oracle_cfg.partition.oracle = true;
-    driver::ExperimentRunner ideal_data(oracle_cfg);
+
+    const std::vector<std::string> labels = {"ours", "ideal-network",
+                                             "ideal-data"};
+    const bench::SweepOutcome sweep =
+        bench::runSweep({ours_cfg, ideal_net_cfg, oracle_cfg});
 
     Table table({"app", "ours%", "ideal-network%", "ideal-data%"});
     std::vector<double> v_ours, v_net, v_data;
-    bench::forEachApp([&](const workloads::Workload &w) {
-        const auto a = ours.runApp(w);
-        const auto b = ideal_net.runApp(w);
-        const auto c = ideal_data.runApp(w);
-        v_ours.push_back(a.execTimeReductionPct());
-        v_net.push_back(b.execTimeReductionPct());
-        v_data.push_back(c.execTimeReductionPct());
+    for (std::size_t a = 0; a < sweep.apps.size(); ++a) {
+        const std::vector<driver::SweepCell> &cells = sweep.grid[a];
+        v_ours.push_back(cells[0].result.execTimeReductionPct());
+        v_net.push_back(cells[1].result.execTimeReductionPct());
+        v_data.push_back(cells[2].result.execTimeReductionPct());
         table.row()
-            .cell(w.name)
+            .cell(sweep.apps[a].name)
             .cell(v_ours.back())
             .cell(v_net.back())
             .cell(v_data.back());
-    });
+    }
     table.row()
         .cell("geomean")
         .cell(driver::geomeanPct(v_ours))
         .cell(driver::geomeanPct(v_net))
         .cell(driver::geomeanPct(v_data));
     table.print(std::cout);
+
+    bench::timingTable(labels, sweep.apps, sweep.grid);
+    bench::timingFooter(sweep.stats);
     return 0;
 }

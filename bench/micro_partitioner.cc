@@ -4,18 +4,24 @@
  * partitioner's building blocks: Kruskal MST splitting, nested-set
  * construction, dependence analysis, and the full window sweep. These
  * quantify the "compilation complexity increases with the window"
- * trade-off of Section 4.4.
+ * trade-off of Section 4.4. BM_SweepRunner additionally measures the
+ * end-to-end experiment sweep at 1..8 pool threads, making the
+ * ThreadPool/SweepRunner scaling (and its overhead on a single
+ * thread) directly observable.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "baseline/default_placement.h"
+#include "driver/sweep.h"
 #include "ir/nested_sets.h"
 #include "ir/parser.h"
 #include "partition/partitioner.h"
 #include "partition/splitter.h"
 #include "sim/manycore.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
+#include "workloads/workload.h"
 
 namespace {
 
@@ -135,6 +141,52 @@ BM_FullPartition(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullPartition)->Arg(1)->Arg(4)->Arg(8);
+
+/** Raw ThreadPool dispatch/collect overhead per task. */
+void
+BM_ThreadPoolDispatch(benchmark::State &state)
+{
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    support::ThreadPool pool(threads);
+    for (auto _ : state) {
+        std::vector<std::future<std::int64_t>> futures;
+        futures.reserve(64);
+        for (std::int64_t i = 0; i < 64; ++i)
+            futures.push_back(pool.submit([i]() { return i * i; }));
+        std::int64_t total = 0;
+        for (auto &f : futures)
+            total += f.get();
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/**
+ * End-to-end experiment sweep (2 small apps x 2 configs) through the
+ * SweepRunner at varying thread counts: the scaling measurement behind
+ * the NDP_BENCH_THREADS knob the figure harnesses expose.
+ */
+void
+BM_SweepRunner(benchmark::State &state)
+{
+    const auto threads = static_cast<int>(state.range(0));
+    workloads::WorkloadFactory factory(256);
+    const std::vector<workloads::Workload> apps = {
+        factory.build("water"), factory.build("lu")};
+    driver::ExperimentConfig base;
+    driver::ExperimentConfig oracle;
+    oracle.partition.oracle = true;
+    const std::vector<driver::ExperimentConfig> configs = {base,
+                                                           oracle};
+    for (auto _ : state) {
+        driver::SweepRunner runner(threads);
+        const auto grid = runner.runGrid(apps, configs);
+        benchmark::DoNotOptimize(
+            grid[0][0].result.optimizedMakespan);
+    }
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

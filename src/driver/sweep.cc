@@ -1,0 +1,83 @@
+#include "driver/sweep.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace ndp::driver {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(int threads)
+    : threads_(threads > 0 ? threads : defaultThreads())
+{
+}
+
+int
+SweepRunner::defaultThreads()
+{
+    if (const char *env = std::getenv("NDP_BENCH_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<std::vector<SweepCell>>
+SweepRunner::runGrid(const std::vector<workloads::Workload> &apps,
+                     const std::vector<ExperimentConfig> &configs)
+{
+    const auto sweep_start = std::chrono::steady_clock::now();
+
+    // One future per cell, submitted app-major so the earliest table
+    // rows become available first. Each task owns its ExperimentRunner
+    // (and, inside runApp, its ManycoreSystem); the workload is shared
+    // read-only.
+    support::ThreadPool pool(static_cast<std::size_t>(threads_));
+    std::vector<std::future<SweepCell>> futures;
+    futures.reserve(apps.size() * configs.size());
+    for (const workloads::Workload &app : apps) {
+        for (const ExperimentConfig &config : configs) {
+            futures.push_back(pool.submit([&app, &config]() {
+                const auto cell_start =
+                    std::chrono::steady_clock::now();
+                ExperimentRunner runner(config);
+                SweepCell cell;
+                cell.result = runner.runApp(app);
+                cell.wallSeconds = secondsSince(cell_start);
+                return cell;
+            }));
+        }
+    }
+
+    // Collect in submission order: the grid layout — and therefore
+    // every table built from it — is identical for any thread count.
+    std::vector<std::vector<SweepCell>> grid(apps.size());
+    std::size_t at = 0;
+    stats_ = SweepStats{};
+    stats_.threads = threads_;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        grid[a].reserve(configs.size());
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            grid[a].push_back(futures[at++].get());
+            stats_.cellSecondsSum += grid[a].back().wallSeconds;
+            ++stats_.cells;
+        }
+    }
+    stats_.wallSeconds = secondsSince(sweep_start);
+    return grid;
+}
+
+} // namespace ndp::driver

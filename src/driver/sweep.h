@@ -1,0 +1,116 @@
+#ifndef NDP_DRIVER_SWEEP_H
+#define NDP_DRIVER_SWEEP_H
+
+/**
+ * @file
+ * Parallel experiment sweeps. Every (workload, ExperimentConfig) pair
+ * of a figure reproduction is an independent computation — runApp()
+ * builds its own ManycoreSystem, every stochastic choice flows through
+ * a per-run seeded Rng, and workloads are only read — so a sweep fans
+ * the grid out across a support::ThreadPool and collects results in
+ * submission order.
+ *
+ * Determinism contract: a sweep's *results* are bit-identical for any
+ * thread count, including 1. Only the wall-clock timings attached to
+ * each cell vary between runs; benches therefore print result tables
+ * to stdout and timing tables to stderr, keeping stdout diffable.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "support/thread_pool.h"
+#include "workloads/workload.h"
+
+namespace ndp::driver {
+
+/** One (workload, config) cell of a sweep grid. */
+struct SweepCell
+{
+    AppResult result;
+    /** Wall-clock seconds of this cell's runApp (nondeterministic). */
+    double wallSeconds = 0.0;
+};
+
+/** Whole-sweep timing summary. */
+struct SweepStats
+{
+    /** Wall-clock seconds from first submit to last collect. */
+    double wallSeconds = 0.0;
+    /** Sum of per-cell wall-clock seconds (serial-equivalent work). */
+    double cellSecondsSum = 0.0;
+    int threads = 1;
+    std::size_t cells = 0;
+
+    /** Serial-equivalent time / wall time: the observed speedup. */
+    double
+    speedup() const
+    {
+        return wallSeconds <= 0.0 ? 1.0 : cellSecondsSum / wallSeconds;
+    }
+};
+
+/**
+ * Fans (workload x config) grids out across a thread pool and merges
+ * the per-cell AppResults back in submission order.
+ */
+class SweepRunner
+{
+  public:
+    /** @param threads worker count; <= 0 uses defaultThreads(). */
+    explicit SweepRunner(int threads = 0);
+
+    int threads() const { return threads_; }
+
+    /**
+     * Worker count for sweeps: the NDP_BENCH_THREADS environment
+     * variable when set to a positive integer, otherwise
+     * hardware_concurrency (at least 1).
+     */
+    static int defaultThreads();
+
+    /**
+     * Run every workload under every config. Cell [a][c] holds
+     * workload @p apps[a] under @p configs[c]; ordering (and therefore
+     * every downstream table) is independent of the thread count.
+     */
+    std::vector<std::vector<SweepCell>> runGrid(
+        const std::vector<workloads::Workload> &apps,
+        const std::vector<ExperimentConfig> &configs);
+
+    /**
+     * Generic ordered fan-out for sweeps that are not plain
+     * (app x config) grids (e.g. Figure 18's metric-isolation runs):
+     * evaluates @p fn(0..count-1) on the pool and returns the results
+     * indexed by input. @p fn must be safe to call concurrently.
+     */
+    template <typename T>
+    std::vector<T>
+    mapOrdered(std::size_t count,
+               const std::function<T(std::size_t)> &fn)
+    {
+        support::ThreadPool pool(static_cast<std::size_t>(threads_));
+        std::vector<std::future<T>> futures;
+        futures.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            futures.push_back(pool.submit([&fn, i]() { return fn(i); }));
+        std::vector<T> results;
+        results.reserve(count);
+        for (std::future<T> &f : futures)
+            results.push_back(f.get());
+        return results;
+    }
+
+    /** Timing of the most recent runGrid() call. */
+    const SweepStats &stats() const { return stats_; }
+
+  private:
+    int threads_;
+    SweepStats stats_;
+};
+
+} // namespace ndp::driver
+
+#endif // NDP_DRIVER_SWEEP_H

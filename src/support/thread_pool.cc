@@ -1,0 +1,48 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace ndp::support {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t n = std::max<std::size_t>(1, threads);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this]() { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                // stop_ set and queue drained: exit. (stop_ with a
+                // non-empty queue keeps draining so every submitted
+                // future is eventually satisfied.)
+                return;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace ndp::support

@@ -1,0 +1,81 @@
+#ifndef NDP_SUPPORT_THREAD_POOL_H
+#define NDP_SUPPORT_THREAD_POOL_H
+
+/**
+ * @file
+ * Fixed-size, futures-based worker pool for embarrassingly-parallel
+ * experiment sweeps. Deliberately minimal: one FIFO queue, no work
+ * stealing, no priorities. Determinism is the caller's contract — a
+ * submitted task must not touch shared mutable state — and the pool's
+ * contribution is that submit() returns a std::future, so callers
+ * collect results in *submission* order no matter which worker ran
+ * which task or in what order tasks finished.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ndp::support {
+
+/** Fixed-size FIFO worker pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 and 1 both run a single worker
+     *        (tasks still execute off the submitting thread, so the
+     *        1-thread pool exercises the same code path the N-thread
+     *        pool does — important for the determinism tests).
+     */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Joins all workers; queued tasks run to completion first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Enqueue @p fn and return a future for its result. Exceptions
+     * thrown by the task surface from future::get() on the collector
+     * thread.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task]() { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace ndp::support
+
+#endif // NDP_SUPPORT_THREAD_POOL_H

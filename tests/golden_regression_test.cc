@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Golden regression test for the reproduction's headline numbers: the
+ * Figure 13 (data-movement reduction) and Figure 17 (execution-time
+ * reduction) metrics of three representative apps at the small bench
+ * scale (NDP_BENCH_SCALE=256 equivalent), compared against a
+ * checked-in golden file with a small tolerance. The pipeline is
+ * deterministic, so the tolerance only absorbs floating-point drift
+ * across toolchains (reassociation, FMA contraction) — a behavioural
+ * change in the locator, splitter, balancer, or engine lands far
+ * outside it and fails loudly instead of silently regressing the
+ * reproduction.
+ *
+ * Regenerate after an *intentional* metrics change with:
+ *   NDP_UPDATE_GOLDEN=1 ./golden_regression_test
+ * and commit the rewritten tests/golden/headline_scale256.txt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ndp;
+
+#ifndef NDP_GOLDEN_DIR
+#error "NDP_GOLDEN_DIR must point at tests/golden"
+#endif
+
+constexpr std::int64_t kGoldenScale = 256;
+constexpr double kTolerancePct = 0.5; // absolute, in % points
+
+const std::vector<std::string> &
+goldenApps()
+{
+    static const std::vector<std::string> apps = {"water", "lu",
+                                                  "fft"};
+    return apps;
+}
+
+std::string
+goldenPath()
+{
+    return std::string(NDP_GOLDEN_DIR) + "/headline_scale256.txt";
+}
+
+/** key ("app/metric") -> headline value, computed live. */
+std::map<std::string, double>
+computeHeadlines()
+{
+    workloads::WorkloadFactory factory(kGoldenScale);
+    std::vector<workloads::Workload> apps;
+    for (const std::string &name : goldenApps())
+        apps.push_back(factory.build(name));
+
+    driver::SweepRunner runner;
+    const auto grid =
+        runner.runGrid(apps, {driver::ExperimentConfig{}});
+
+    std::map<std::string, double> metrics;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const driver::AppResult &r = grid[a][0].result;
+        metrics[r.app + "/fig13_avg_movement_reduction_pct"] =
+            r.movementReductionPct.mean();
+        metrics[r.app + "/fig13_max_movement_reduction_pct"] =
+            r.movementReductionPct.max();
+        metrics[r.app + "/fig17_exec_time_reduction_pct"] =
+            r.execTimeReductionPct();
+        metrics[r.app + "/fig24_energy_reduction_pct"] =
+            r.energyReductionPct();
+    }
+    return metrics;
+}
+
+std::map<std::string, double>
+readGolden(const std::string &path)
+{
+    std::ifstream in(path);
+    std::map<std::string, double> golden;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        double value = 0.0;
+        if (ls >> key >> value)
+            golden[key] = value;
+    }
+    return golden;
+}
+
+void
+writeGolden(const std::string &path,
+            const std::map<std::string, double> &metrics)
+{
+    std::ofstream out(path);
+    out << "# Headline metrics at scale " << kGoldenScale
+        << " (apps: water, lu, fft).\n"
+        << "# Regenerate: NDP_UPDATE_GOLDEN=1 "
+           "./golden_regression_test\n";
+    out.precision(10);
+    for (const auto &[key, value] : metrics)
+        out << key << ' ' << value << '\n';
+}
+
+TEST(GoldenRegressionTest, HeadlineMetricsMatchGoldenFile)
+{
+    const std::map<std::string, double> actual = computeHeadlines();
+
+    if (std::getenv("NDP_UPDATE_GOLDEN") != nullptr) {
+        writeGolden(goldenPath(), actual);
+        GTEST_SKIP() << "golden file regenerated at " << goldenPath();
+    }
+
+    const std::map<std::string, double> golden =
+        readGolden(goldenPath());
+    ASSERT_FALSE(golden.empty())
+        << "missing or empty golden file " << goldenPath()
+        << " — regenerate with NDP_UPDATE_GOLDEN=1";
+
+    for (const auto &[key, expected] : golden) {
+        const auto it = actual.find(key);
+        ASSERT_NE(it, actual.end())
+            << "golden metric " << key << " no longer computed";
+        EXPECT_NEAR(it->second, expected, kTolerancePct)
+            << key << " drifted from its golden value — if the "
+            << "change is intentional, regenerate the golden file";
+    }
+    // And nothing new silently missing from the golden file.
+    for (const auto &[key, value] : actual) {
+        (void)value;
+        EXPECT_TRUE(golden.count(key))
+            << key << " is computed but absent from the golden file "
+            << "— regenerate it";
+    }
+}
+
+} // namespace

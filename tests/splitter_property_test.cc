@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Randomized property tests for the statement splitter (Section 4.2,
+ * Algorithm 1). Deterministically seeded, so failures reproduce:
+ *
+ *  - the Kruskal MST of a flat statement spans exactly
+ *    (distinct nodes - 1) edges, where the distinct nodes are the leaf
+ *    locations plus the store node;
+ *  - total scheduled movement never exceeds the naive all-to-store
+ *    cost of Equation 1 (every operand fetched straight to the store
+ *    node): the MST is no heavier than the star tree rooted at the
+ *    store, and forwarding a partial result (1 flit) is never dearer
+ *    than fetching a line (8 flits);
+ *  - nested-set levels never mix components: every leaf operand
+ *    belongs to exactly one set level and to exactly one
+ *    subcomputation, and children always precede their parents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/nested_sets.h"
+#include "ir/parser.h"
+#include "noc/mesh_topology.h"
+#include "partition/splitter.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace ndp;
+
+constexpr std::int64_t kFetchWeight = 8;
+constexpr std::int64_t kResultWeight = 1;
+
+/** Parse a one-statement kernel whose RHS is @p rhs over V0..Vn-1. */
+ir::LoopNest
+kernelFor(const std::string &rhs, int leaves, ir::ArrayTable &arrays)
+{
+    std::string src = "array OUT[64];\n";
+    for (int i = 0; i < leaves; ++i)
+        src += "array V" + std::to_string(i) + "[64];\n";
+    src += "for i = 0..64 { OUT[i] = " + rhs + "; }";
+    return ir::parseKernel(src, "prop", arrays);
+}
+
+/** Random flat sum/product: V0 op V1 op ... (one set level). */
+std::string
+flatRhs(int leaves, Rng &rng)
+{
+    const char *op = rng.nextBool(0.5) ? " + " : " * ";
+    std::string rhs = "V0[i]";
+    for (int i = 1; i < leaves; ++i)
+        rhs += op + ("V" + std::to_string(i) + "[i]");
+    return rhs;
+}
+
+/** Random parenthesized expression tree over exactly @p leaves refs. */
+std::string
+nestedRhs(int lo, int hi, Rng &rng)
+{
+    if (hi - lo == 1)
+        return "V" + std::to_string(lo) + "[i]";
+    const int mid =
+        lo + 1 +
+        static_cast<int>(rng.nextBelow(
+            static_cast<std::uint64_t>(hi - lo - 1)));
+    const std::string op = rng.nextBool(0.5) ? " + " : " * ";
+    return "(" + nestedRhs(lo, mid, rng) + op +
+           nestedRhs(mid, hi, rng) + ")";
+}
+
+std::vector<partition::Location>
+randomLocations(std::size_t count, std::int32_t nodes, Rng &rng)
+{
+    std::vector<partition::Location> locations(count);
+    for (partition::Location &loc : locations) {
+        loc.node = static_cast<noc::NodeId>(
+            rng.nextBelow(static_cast<std::uint64_t>(nodes)));
+        loc.source = partition::LocationSource::L2Home;
+    }
+    return locations;
+}
+
+/** Collect every leaf index of @p set, recursively. */
+void
+collectLeaves(const ir::VarSet &set, std::vector<int> &leaves)
+{
+    for (const ir::VarSet::Elem &elem : set.elems) {
+        if (elem.isLeaf())
+            leaves.push_back(elem.leaf);
+        else if (elem.sub)
+            collectLeaves(*elem.sub, leaves);
+    }
+}
+
+/** Structural invariants every SplitResult must satisfy. */
+void
+checkSplitInvariants(const partition::SplitResult &result,
+                     std::size_t leaf_count, noc::NodeId store_node)
+{
+    ASSERT_GE(result.root, 0);
+    const auto &root =
+        result.subs[static_cast<std::size_t>(result.root)];
+    EXPECT_TRUE(root.isRoot);
+    EXPECT_EQ(root.node, store_node)
+        << "the final store must execute at the store node";
+
+    // Children precede parents (emission is post-order) and each
+    // subcomputation feeds exactly one parent.
+    std::vector<int> child_uses(result.subs.size(), 0);
+    for (std::size_t s = 0; s < result.subs.size(); ++s) {
+        for (int child : result.subs[s].children) {
+            ASSERT_GE(child, 0);
+            ASSERT_LT(static_cast<std::size_t>(child), s)
+                << "child emitted after its parent";
+            ++child_uses[static_cast<std::size_t>(child)];
+        }
+    }
+    for (std::size_t s = 0; s < result.subs.size(); ++s) {
+        const int expected = static_cast<int>(s) == result.root ? 0 : 1;
+        EXPECT_EQ(child_uses[s], expected)
+            << "subcomputation " << s
+            << " must feed exactly one merge (components never mix)";
+    }
+
+    // Leaf partition: every operand consumed exactly once, somewhere.
+    std::vector<int> seen;
+    for (const partition::Subcomputation &sub : result.subs)
+        seen.insert(seen.end(), sub.leaves.begin(), sub.leaves.end());
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), leaf_count);
+    for (std::size_t i = 0; i < leaf_count; ++i)
+        EXPECT_EQ(seen[i], static_cast<int>(i));
+
+    EXPECT_GE(result.degreeOfParallelism, 1);
+    EXPECT_GE(result.plannedMovement, 0);
+}
+
+TEST(SplitterPropertyTest, FlatMstSpansDistinctNodesMinusOne)
+{
+    Rng rng(0xf1a7);
+    noc::MeshTopology mesh(6, 6);
+    partition::StatementSplitter splitter(mesh, kFetchWeight,
+                                          kResultWeight);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int leaves =
+            2 + static_cast<int>(rng.nextBelow(11)); // 2..12
+        ir::ArrayTable arrays;
+        ir::LoopNest nest =
+            kernelFor(flatRhs(leaves, rng), leaves, arrays);
+        const ir::VarSet sets = ir::buildVarSets(nest.body().front());
+        ASSERT_EQ(sets.depth(), 1u) << "flat rhs must stay one level";
+
+        const auto locations = randomLocations(
+            static_cast<std::size_t>(leaves), mesh.nodeCount(), rng);
+        const auto store = static_cast<noc::NodeId>(
+            rng.nextBelow(static_cast<std::uint64_t>(mesh.nodeCount())));
+
+        const partition::SplitResult result =
+            splitter.split(sets, locations, store);
+
+        std::set<noc::NodeId> distinct;
+        for (const partition::Location &loc : locations)
+            distinct.insert(loc.node);
+        distinct.insert(store);
+        EXPECT_EQ(result.edges.size(), distinct.size() - 1)
+            << "trial " << trial << ": Kruskal must pick exactly "
+            << "|V|-1 edges";
+        checkSplitInvariants(result,
+                             static_cast<std::size_t>(leaves), store);
+    }
+}
+
+TEST(SplitterPropertyTest, MovementNeverExceedsNaiveAllToStore)
+{
+    Rng rng(0xcafe);
+    noc::MeshTopology mesh(8, 8);
+    partition::StatementSplitter splitter(mesh, kFetchWeight,
+                                          kResultWeight);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int leaves = 2 + static_cast<int>(rng.nextBelow(11));
+        const bool flat = rng.nextBool(0.5);
+        ir::ArrayTable arrays;
+        ir::LoopNest nest = kernelFor(
+            flat ? flatRhs(leaves, rng) : nestedRhs(0, leaves, rng),
+            leaves, arrays);
+        const ir::VarSet sets = ir::buildVarSets(nest.body().front());
+
+        const auto locations = randomLocations(
+            static_cast<std::size_t>(leaves), mesh.nodeCount(), rng);
+        const auto store = static_cast<noc::NodeId>(
+            rng.nextBelow(static_cast<std::uint64_t>(mesh.nodeCount())));
+
+        const partition::SplitResult result =
+            splitter.split(sets, locations, store);
+
+        // Equation 1's naive cost: every operand line fetched
+        // straight to the store node.
+        std::int64_t naive = 0;
+        for (const partition::Location &loc : locations)
+            naive += kFetchWeight * mesh.distance(loc.node, store);
+        EXPECT_LE(result.plannedMovement, naive)
+            << "trial " << trial << " (flat=" << flat
+            << "): scheduled movement beat by the naive schedule";
+        checkSplitInvariants(result,
+                             static_cast<std::size_t>(leaves), store);
+    }
+}
+
+TEST(SplitterPropertyTest, NestedSetLevelsNeverMixLeaves)
+{
+    Rng rng(0xbeef);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int leaves = 2 + static_cast<int>(rng.nextBelow(11));
+        ir::ArrayTable arrays;
+        ir::LoopNest nest =
+            kernelFor(nestedRhs(0, leaves, rng), leaves, arrays);
+        const ir::VarSet sets = ir::buildVarSets(nest.body().front());
+
+        // Every leaf operand appears at exactly one level of the
+        // nested-set hierarchy — sets partition the operands.
+        std::vector<int> all;
+        collectLeaves(sets, all);
+        std::sort(all.begin(), all.end());
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(leaves))
+            << "trial " << trial;
+        for (int i = 0; i < leaves; ++i)
+            EXPECT_EQ(all[static_cast<std::size_t>(i)], i)
+                << "trial " << trial
+                << ": leaf missing or duplicated across levels";
+        EXPECT_EQ(sets.leafCount(),
+                  static_cast<std::size_t>(leaves));
+        EXPECT_GE(sets.depth(), 1u);
+    }
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The SweepRunner determinism contract: the same (workload x config)
+ * grid produces byte-identical AppResult metrics for any thread count.
+ * Fingerprints serialize every aggregate — makespans, energies, the
+ * movement-reduction / parallelism / sync accumulators, cache and
+ * network metrics — with hexfloat precision, so even a 1-ULP drift
+ * (e.g. from a reduction reassociated across threads) fails the test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ndp;
+using namespace ndp::driver;
+
+void
+fingerprintAccumulator(std::ostringstream &os, const char *tag,
+                       const Accumulator &acc)
+{
+    os << tag << ':' << acc.count() << ',' << std::hexfloat
+       << acc.sum() << ',' << acc.min() << ',' << acc.max() << ';';
+}
+
+/** Byte-exact serialization of every AppResult aggregate. */
+std::string
+fingerprint(const AppResult &r)
+{
+    std::ostringstream os;
+    os << r.app << '|' << r.defaultMakespan << ','
+       << r.optimizedMakespan << '|' << std::hexfloat
+       << r.defaultEnergy << ',' << r.optimizedEnergy << '|';
+    fingerprintAccumulator(os, "mov", r.movementReductionPct);
+    fingerprintAccumulator(os, "dop", r.degreeOfParallelism);
+    fingerprintAccumulator(os, "sync", r.syncsPerStatement);
+    fingerprintAccumulator(os, "rawsync", r.rawSyncsPerStatement);
+    os << std::hexfloat << r.defaultL1HitRate << ','
+       << r.optimizedL1HitRate << ',' << r.defaultAvgNetLatency << ','
+       << r.optimizedAvgNetLatency << ',' << r.defaultMaxNetLatency
+       << ',' << r.optimizedMaxNetLatency << ','
+       << r.analyzableFraction << ',' << r.predictorAccuracy << '|'
+       << r.offloadedOps[0] << ',' << r.offloadedOps[1] << ','
+       << r.offloadedOps[2] << '|' << r.nests.size();
+    for (const NestResult &nr : r.nests) {
+        os << '|' << nr.nest << ':'
+           << nr.defaultRun.makespanCycles << ','
+           << nr.optimizedRun.makespanCycles << ','
+           << nr.defaultRun.dataMovementFlitHops << ','
+           << nr.optimizedRun.dataMovementFlitHops << ','
+           << nr.optimizedRun.syncCount;
+    }
+    return os.str();
+}
+
+std::vector<std::string>
+sweepFingerprints(int threads)
+{
+    workloads::WorkloadFactory factory(256);
+    const std::vector<workloads::Workload> apps = {
+        factory.build("water"), factory.build("lu"),
+        factory.build("fft")};
+
+    ExperimentConfig base;
+    ExperimentConfig oracle;
+    oracle.partition.oracle = true;
+    const std::vector<ExperimentConfig> configs = {base, oracle};
+
+    SweepRunner runner(threads);
+    const auto grid = runner.runGrid(apps, configs);
+
+    std::vector<std::string> prints;
+    for (const auto &row : grid)
+        for (const SweepCell &cell : row)
+            prints.push_back(fingerprint(cell.result));
+    return prints;
+}
+
+TEST(SweepDeterminismTest, ByteIdenticalResultsAcross1_2_8Threads)
+{
+    const std::vector<std::string> t1 = sweepFingerprints(1);
+    const std::vector<std::string> t2 = sweepFingerprints(2);
+    const std::vector<std::string> t8 = sweepFingerprints(8);
+
+    ASSERT_EQ(t1.size(), 6u); // 3 apps x 2 configs
+    ASSERT_EQ(t2.size(), t1.size());
+    ASSERT_EQ(t8.size(), t1.size());
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1[i], t2[i]) << "cell " << i << " differs 1 vs 2";
+        EXPECT_EQ(t1[i], t8[i]) << "cell " << i << " differs 1 vs 8";
+    }
+}
+
+TEST(SweepDeterminismTest, GridMatchesSerialExperimentRunner)
+{
+    // The pool must be a pure scheduling change: cell [a][c] equals a
+    // plain serial ExperimentRunner(configs[c]).runApp(apps[a]).
+    workloads::WorkloadFactory factory(256);
+    const std::vector<workloads::Workload> apps = {
+        factory.build("water"), factory.build("radix")};
+    ExperimentConfig base;
+    ExperimentConfig ideal;
+    ideal.optimizeComputation = false;
+    ideal.idealNetwork = true;
+    const std::vector<ExperimentConfig> configs = {base, ideal};
+
+    SweepRunner runner(4);
+    const auto grid = runner.runGrid(apps, configs);
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            ExperimentRunner serial(configs[c]);
+            EXPECT_EQ(fingerprint(grid[a][c].result),
+                      fingerprint(serial.runApp(apps[a])))
+                << apps[a].name << " config " << c;
+        }
+    }
+}
+
+TEST(SweepDeterminismTest, StatsCoverEveryCell)
+{
+    workloads::WorkloadFactory factory(256);
+    const std::vector<workloads::Workload> apps = {
+        factory.build("water")};
+    const std::vector<ExperimentConfig> configs = {ExperimentConfig{},
+                                                   ExperimentConfig{}};
+    SweepRunner runner(2);
+    (void)runner.runGrid(apps, configs);
+    EXPECT_EQ(runner.stats().cells, 2u);
+    EXPECT_EQ(runner.stats().threads, 2);
+    EXPECT_GT(runner.stats().wallSeconds, 0.0);
+    EXPECT_GE(runner.stats().cellSecondsSum, 0.0);
+}
+
+} // namespace

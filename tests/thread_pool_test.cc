@@ -1,0 +1,108 @@
+/**
+ * @file
+ * support::ThreadPool unit tests: submission-order result collection,
+ * exception propagation through futures, queue draining on
+ * destruction, and the NDP_BENCH_THREADS knob parsing in
+ * driver::SweepRunner::defaultThreads().
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "driver/sweep.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using namespace ndp;
+
+TEST(ThreadPoolTest, ResultsCollectInSubmissionOrder)
+{
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        support::ThreadPool pool(threads);
+        std::vector<std::future<int>> futures;
+        for (int i = 0; i < 200; ++i)
+            futures.push_back(pool.submit([i]() { return i * i; }));
+        for (int i = 0; i < 200; ++i)
+            EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(),
+                      i * i)
+                << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne)
+{
+    support::ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    EXPECT_EQ(pool.submit([]() { return 42; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures)
+{
+    support::ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 1; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_EQ(ok.get(), 1);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks)
+{
+    // Submit far more tasks than workers and destroy the pool without
+    // collecting: every task must still run exactly once.
+    std::atomic<int> ran{0};
+    {
+        support::ThreadPool pool(4);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&ran]() {
+                ran.fetch_add(1, std::memory_order_relaxed);
+                return 0;
+            });
+    }
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, MoveOnlyResultsWork)
+{
+    support::ThreadPool pool(2);
+    auto future = pool.submit([]() {
+        auto p = std::make_unique<int>(7);
+        return p;
+    });
+    EXPECT_EQ(*future.get(), 7);
+}
+
+TEST(SweepRunnerTest, DefaultThreadsHonorsEnvKnob)
+{
+    ::setenv("NDP_BENCH_THREADS", "3", 1);
+    EXPECT_EQ(driver::SweepRunner::defaultThreads(), 3);
+    EXPECT_EQ(driver::SweepRunner(0).threads(), 3);
+    // Explicit constructor argument beats the env knob.
+    EXPECT_EQ(driver::SweepRunner(5).threads(), 5);
+
+    // Garbage and non-positive values fall back to the hardware.
+    ::setenv("NDP_BENCH_THREADS", "0", 1);
+    EXPECT_GE(driver::SweepRunner::defaultThreads(), 1);
+    ::setenv("NDP_BENCH_THREADS", "banana", 1);
+    EXPECT_GE(driver::SweepRunner::defaultThreads(), 1);
+    ::unsetenv("NDP_BENCH_THREADS");
+    EXPECT_GE(driver::SweepRunner::defaultThreads(), 1);
+}
+
+TEST(SweepRunnerTest, MapOrderedReturnsIndexedResults)
+{
+    driver::SweepRunner runner(4);
+    const std::vector<int> out = runner.mapOrdered<int>(
+        50, [](std::size_t i) { return static_cast<int>(i) * 3; });
+    ASSERT_EQ(out.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 3);
+}
+
+} // namespace
