@@ -11,6 +11,10 @@
  *   -syncmin    : transitive synchronisation minimisation off
  *   -selection  : profile-guided plan selection off (raw partitioner)
  *   window=1    : single-statement optimization only (no windows)
+ *
+ * All 72 (app, variant) runs fan out across NDP_BENCH_THREADS workers
+ * (and each run's loop nests across the same pool); the table is
+ * bit-identical for any thread count (timing on stderr).
  */
 
 #include "bench_common.h"
@@ -19,6 +23,7 @@ int
 main()
 {
     using namespace ndp;
+    using driver::AppResult;
     bench::banner("ablation_design_choices", "DESIGN.md ablations");
 
     driver::ExperimentConfig full;
@@ -38,38 +43,22 @@ main()
     driver::ExperimentConfig window1 = full;
     window1.partition.fixedWindowSize = 1;
 
-    struct Variant
-    {
-        const char *name;
-        driver::ExperimentRunner runner;
-    };
-    Variant variants[] = {
-        {"full", driver::ExperimentRunner(full)},
-        {"-reuse", driver::ExperimentRunner(no_reuse)},
-        {"-balance", driver::ExperimentRunner(no_balance)},
-        {"-syncmin", driver::ExperimentRunner(no_syncmin)},
-        {"-selection", driver::ExperimentRunner(no_selection)},
-        {"window=1", driver::ExperimentRunner(window1)},
-    };
+    const std::vector<std::string> labels = {
+        "full",       "-reuse",     "-balance",
+        "-syncmin",   "-selection", "window=1"};
+    const bench::SweepOutcome sweep = bench::runSweep(
+        {full, no_reuse, no_balance, no_syncmin, no_selection,
+         window1});
 
-    std::vector<std::string> headers = {"app"};
-    for (const Variant &v : variants)
-        headers.push_back(v.name);
-    Table table(headers);
+    std::vector<bench::MetricColumn> columns;
+    for (std::size_t c = 0; c < labels.size(); ++c)
+        columns.push_back({labels[c], c,
+                           [](const AppResult &r) {
+                               return r.execTimeReductionPct();
+                           },
+                           bench::MetricColumn::Summary::Geomean});
+    bench::printMetricTable(sweep, columns);
 
-    std::vector<std::vector<double>> columns(std::size(variants));
-    bench::forEachApp([&](const workloads::Workload &w) {
-        table.row().cell(w.name);
-        for (std::size_t v = 0; v < std::size(variants); ++v) {
-            const double pct =
-                variants[v].runner.runApp(w).execTimeReductionPct();
-            columns[v].push_back(pct);
-            table.cell(pct);
-        }
-    });
-    table.row().cell("geomean");
-    for (const auto &col : columns)
-        table.cell(driver::geomeanPct(col));
-    table.print(std::cout);
+    bench::printTiming(labels, sweep);
     return 0;
 }

@@ -50,7 +50,6 @@ main()
         .cell("");
     table.print(std::cout);
 
-    bench::timingTable({"mesh", "torus"}, sweep.apps, sweep.grid);
-    bench::timingFooter(sweep.stats);
+    bench::printTiming({"mesh", "torus"}, sweep);
     return 0;
 }

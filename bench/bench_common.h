@@ -4,9 +4,11 @@
 /**
  * @file
  * Shared scaffolding for the figure/table reproduction harnesses: a
- * common workload scale (overridable via NDP_BENCH_SCALE), per-app
- * iteration, parallel (app x config) sweeps (worker count overridable
- * via NDP_BENCH_THREADS), and uniform headers so outputs are diffable.
+ * common workload scale (overridable via NDP_BENCH_SCALE), parallel
+ * (app x config) sweeps (worker count overridable via
+ * NDP_BENCH_THREADS), and a declarative metric-table printer so each
+ * harness reduces to its config grid plus one row-formatter per
+ * column.
  *
  * Output discipline: result tables go to stdout and are bit-identical
  * for any thread count; wall-clock timing (inherently nondeterministic)
@@ -21,6 +23,7 @@
 
 #include "driver/experiment.h"
 #include "driver/sweep.h"
+#include "support/stats.h"
 #include "support/table.h"
 #include "workloads/workload.h"
 
@@ -53,17 +56,6 @@ allApps()
     return factory.buildAll();
 }
 
-/** Run @p fn on each of the paper's 12 applications. */
-inline void
-forEachApp(const std::function<void(const workloads::Workload &)> &fn)
-{
-    workloads::WorkloadFactory factory(benchScale());
-    for (const std::string &name :
-         workloads::WorkloadFactory::appNames()) {
-        fn(factory.build(name));
-    }
-}
-
 /** Everything one parallel (app x config) sweep produces. */
 struct SweepOutcome
 {
@@ -74,9 +66,10 @@ struct SweepOutcome
 };
 
 /**
- * Run every app under every config on a SweepRunner. The grid layout
- * — and thus any stdout table built from it — is independent of the
- * thread count; only the wallSeconds fields vary.
+ * Run every app under every config on a SweepRunner (both parallelism
+ * axes: cells across the pool, loop nests within each cell). The grid
+ * layout — and thus any stdout table built from it — is independent
+ * of the thread count; only the wallSeconds fields vary.
  */
 inline SweepOutcome
 runSweep(const std::vector<driver::ExperimentConfig> &configs)
@@ -87,6 +80,77 @@ runSweep(const std::vector<driver::ExperimentConfig> &configs)
     outcome.grid = runner.runGrid(outcome.apps, configs);
     outcome.stats = runner.stats();
     return outcome;
+}
+
+/**
+ * One stdout column of a harness table: a scalar metric of one
+ * config's AppResult, plus how (and whether) to summarise it across
+ * apps in the table's footer row.
+ */
+struct MetricColumn
+{
+    enum class Summary { None, Geomean, Mean };
+
+    std::string header;
+    /** Which sweep config (grid column) this metric reads. */
+    std::size_t config = 0;
+    std::function<double(const driver::AppResult &)> metric;
+    Summary summary = Summary::None;
+    int precision = 2;
+};
+
+/**
+ * Print the standard per-app metric table for @p sweep to stdout: one
+ * row per app, one cell per column, and — when any column asks for a
+ * summary — a footer row labelled "geomean" (or "mean" when only
+ * arithmetic means were requested) summarising those columns.
+ */
+inline void
+printMetricTable(const SweepOutcome &sweep,
+                 const std::vector<MetricColumn> &columns)
+{
+    std::vector<std::string> headers = {"app"};
+    for (const MetricColumn &col : columns)
+        headers.push_back(col.header);
+    Table table(headers);
+
+    std::vector<std::vector<double>> values(columns.size());
+    for (std::size_t a = 0; a < sweep.apps.size(); ++a) {
+        table.row().cell(sweep.apps[a].name);
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            const MetricColumn &col = columns[c];
+            const double v =
+                col.metric(sweep.grid[a][col.config].result);
+            values[c].push_back(v);
+            table.cell(v, col.precision);
+        }
+    }
+
+    bool any_geomean = false;
+    bool any_mean = false;
+    for (const MetricColumn &col : columns) {
+        any_geomean |= col.summary == MetricColumn::Summary::Geomean;
+        any_mean |= col.summary == MetricColumn::Summary::Mean;
+    }
+    if (any_geomean || any_mean) {
+        table.row().cell(any_geomean ? "geomean" : "mean");
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            switch (columns[c].summary) {
+            case MetricColumn::Summary::Geomean:
+                table.cell(driver::geomeanPct(values[c]),
+                           columns[c].precision);
+                break;
+            case MetricColumn::Summary::Mean:
+                table.cell(arithmeticMean(values[c]),
+                           columns[c].precision);
+                break;
+            case MetricColumn::Summary::None:
+                table.cell("");
+                break;
+            }
+        }
+    }
+    table.print(std::cout);
 }
 
 /** Print the standard harness banner. */
@@ -100,22 +164,9 @@ banner(const std::string &experiment, const std::string &paper_ref)
 }
 
 /**
- * Print the sweep's wall-clock summary — to stderr, because timing is
- * the one nondeterministic output and stdout must stay diffable across
- * thread counts (the determinism contract of driver::SweepRunner).
- */
-inline void
-timingFooter(const driver::SweepStats &stats)
-{
-    std::clog << "[sweep] " << stats.cells << " runs on "
-              << stats.threads << " thread(s): " << stats.wallSeconds
-              << "s wall, " << stats.cellSecondsSum
-              << "s serial-equivalent (speedup x" << stats.speedup()
-              << "; set NDP_BENCH_THREADS to change)\n";
-}
-
-/**
- * Per-app wall-clock table (stderr, same rationale as timingFooter).
+ * Per-app wall-clock table — to stderr, because timing is the one
+ * nondeterministic output and stdout must stay diffable across thread
+ * counts (the determinism contract of driver::SweepRunner).
  * @p labels names each config column.
  */
 inline void
@@ -134,6 +185,18 @@ timingTable(const std::vector<std::string> &labels,
     }
     std::clog << "[sweep] per-run wall-clock seconds:\n";
     table.print(std::clog);
+}
+
+/**
+ * The whole stderr timing block: the per-app wall-clock table plus the
+ * one-line SweepStats summary every harness ends with.
+ */
+inline void
+printTiming(const std::vector<std::string> &labels,
+            const SweepOutcome &sweep)
+{
+    timingTable(labels, sweep.apps, sweep.grid);
+    sweep.stats.printSummary(std::clog);
 }
 
 } // namespace ndp::bench

@@ -4,6 +4,10 @@
  * over the locality-optimized default placement — average and maximum
  * across all statement instances. Paper: 35.3% geometric-mean average
  * reduction; Barnes/Ocean/MiniMD high, Cholesky/LU low.
+ *
+ * All 12 app runs fan out across NDP_BENCH_THREADS workers (and each
+ * run's loop nests across the same pool); the table is bit-identical
+ * for any thread count (timing on stderr).
  */
 
 #include "bench_common.h"
@@ -12,21 +16,22 @@ int
 main()
 {
     using namespace ndp;
+    using driver::AppResult;
     bench::banner("fig13_data_movement", "Figure 13");
 
-    driver::ExperimentRunner runner;
-    Table table({"app", "avg reduction%", "max reduction%"});
-    std::vector<double> averages;
-    bench::forEachApp([&](const workloads::Workload &w) {
-        const auto result = runner.runApp(w);
-        averages.push_back(result.movementReductionPct.mean());
-        table.row()
-            .cell(w.name)
-            .cell(result.movementReductionPct.mean())
-            .cell(result.movementReductionPct.max());
-    });
-    table.row().cell("geomean").cell(driver::geomeanPct(averages)).cell(
-        "");
-    table.print(std::cout);
+    const bench::SweepOutcome sweep =
+        bench::runSweep({driver::ExperimentConfig{}});
+    bench::printMetricTable(
+        sweep,
+        {{"avg reduction%", 0,
+          [](const AppResult &r) {
+              return r.movementReductionPct.mean();
+          },
+          bench::MetricColumn::Summary::Geomean},
+         {"max reduction%", 0, [](const AppResult &r) {
+              return r.movementReductionPct.max();
+          }}});
+
+    bench::printTiming({"run"}, sweep);
     return 0;
 }

@@ -4,6 +4,10 @@
  * maximum number of subcomputations of one statement instance that can
  * execute in parallel. Paper: ~3 on average, larger for Ocean/Barnes
  * (their longer statements split into more parallel subcomputations).
+ *
+ * All 12 app runs fan out across NDP_BENCH_THREADS workers (and each
+ * run's loop nests across the same pool); the table is bit-identical
+ * for any thread count (timing on stderr).
  */
 
 #include "bench_common.h"
@@ -12,17 +16,21 @@ int
 main()
 {
     using namespace ndp;
+    using driver::AppResult;
     bench::banner("fig14_parallelism", "Figure 14");
 
-    driver::ExperimentRunner runner;
-    Table table({"app", "avg DoP", "max DoP"});
-    bench::forEachApp([&](const workloads::Workload &w) {
-        const auto result = runner.runApp(w);
-        table.row()
-            .cell(w.name)
-            .cell(result.degreeOfParallelism.mean())
-            .cell(result.degreeOfParallelism.max());
-    });
-    table.print(std::cout);
+    const bench::SweepOutcome sweep =
+        bench::runSweep({driver::ExperimentConfig{}});
+    bench::printMetricTable(
+        sweep,
+        {{"avg DoP", 0,
+          [](const AppResult &r) {
+              return r.degreeOfParallelism.mean();
+          }},
+         {"max DoP", 0, [](const AppResult &r) {
+              return r.degreeOfParallelism.max();
+          }}});
+
+    bench::printTiming({"run"}, sweep);
     return 0;
 }

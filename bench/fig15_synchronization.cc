@@ -5,6 +5,10 @@
  * minimisation (the raw pre-minimisation count is shown alongside).
  * The paper notes higher subcomputation parallelism generally implies
  * more synchronisations.
+ *
+ * All 12 app runs fan out across NDP_BENCH_THREADS workers (and each
+ * run's loop nests across the same pool); the table is bit-identical
+ * for any thread count (timing on stderr).
  */
 
 #include "bench_common.h"
@@ -13,18 +17,25 @@ int
 main()
 {
     using namespace ndp;
+    using driver::AppResult;
     bench::banner("fig15_synchronization", "Figure 15");
 
-    driver::ExperimentRunner runner;
-    Table table({"app", "syncs/stmt", "raw syncs/stmt", "avg DoP"});
-    bench::forEachApp([&](const workloads::Workload &w) {
-        const auto result = runner.runApp(w);
-        table.row()
-            .cell(w.name)
-            .cell(result.syncsPerStatement.mean())
-            .cell(result.rawSyncsPerStatement.mean())
-            .cell(result.degreeOfParallelism.mean());
-    });
-    table.print(std::cout);
+    const bench::SweepOutcome sweep =
+        bench::runSweep({driver::ExperimentConfig{}});
+    bench::printMetricTable(
+        sweep,
+        {{"syncs/stmt", 0,
+          [](const AppResult &r) {
+              return r.syncsPerStatement.mean();
+          }},
+         {"raw syncs/stmt", 0,
+          [](const AppResult &r) {
+              return r.rawSyncsPerStatement.mean();
+          }},
+         {"avg DoP", 0, [](const AppResult &r) {
+              return r.degreeOfParallelism.mean();
+          }}});
+
+    bench::printTiming({"run"}, sweep);
     return 0;
 }

@@ -6,8 +6,9 @@
  * 0 cycles), and (3) ideal data analysis (perfect locations and
  * disambiguation). Paper geomeans: 18.4% / 24.4% / 22.3%.
  *
- * All 36 (app, config) runs fan out across NDP_BENCH_THREADS workers;
- * the table is bit-identical for any thread count (timing on stderr).
+ * All 36 (app, config) runs fan out across NDP_BENCH_THREADS workers
+ * (and each run's loop nests across the same pool); the table is
+ * bit-identical for any thread count (timing on stderr).
  */
 
 #include "bench_common.h"
@@ -16,6 +17,7 @@ int
 main()
 {
     using namespace ndp;
+    using driver::AppResult;
     bench::banner("fig17_execution_time", "Figure 17");
 
     driver::ExperimentConfig ours_cfg;
@@ -27,32 +29,20 @@ main()
     driver::ExperimentConfig oracle_cfg;
     oracle_cfg.partition.oracle = true;
 
-    const std::vector<std::string> labels = {"ours", "ideal-network",
-                                             "ideal-data"};
     const bench::SweepOutcome sweep =
         bench::runSweep({ours_cfg, ideal_net_cfg, oracle_cfg});
 
-    Table table({"app", "ours%", "ideal-network%", "ideal-data%"});
-    std::vector<double> v_ours, v_net, v_data;
-    for (std::size_t a = 0; a < sweep.apps.size(); ++a) {
-        const std::vector<driver::SweepCell> &cells = sweep.grid[a];
-        v_ours.push_back(cells[0].result.execTimeReductionPct());
-        v_net.push_back(cells[1].result.execTimeReductionPct());
-        v_data.push_back(cells[2].result.execTimeReductionPct());
-        table.row()
-            .cell(sweep.apps[a].name)
-            .cell(v_ours.back())
-            .cell(v_net.back())
-            .cell(v_data.back());
-    }
-    table.row()
-        .cell("geomean")
-        .cell(driver::geomeanPct(v_ours))
-        .cell(driver::geomeanPct(v_net))
-        .cell(driver::geomeanPct(v_data));
-    table.print(std::cout);
+    const auto exec_reduction = [](const AppResult &r) {
+        return r.execTimeReductionPct();
+    };
+    bench::printMetricTable(
+        sweep, {{"ours%", 0, exec_reduction,
+                 bench::MetricColumn::Summary::Geomean},
+                {"ideal-network%", 1, exec_reduction,
+                 bench::MetricColumn::Summary::Geomean},
+                {"ideal-data%", 2, exec_reduction,
+                 bench::MetricColumn::Summary::Geomean}});
 
-    bench::timingTable(labels, sweep.apps, sweep.grid);
-    bench::timingFooter(sweep.stats);
+    bench::printTiming({"ours", "ideal-network", "ideal-data"}, sweep);
     return 0;
 }

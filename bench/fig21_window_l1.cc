@@ -3,6 +3,10 @@
  * Figure 21: the L1 hit-rate improvement behind Figure 20's execution
  * times, for each fixed window size. The paper observes the execution
  * time results follow the L1 hit-rate trend.
+ *
+ * All 96 (app, window) runs fan out across NDP_BENCH_THREADS workers
+ * (and each run's loop nests across the same pool); the table is
+ * bit-identical for any thread count (timing on stderr).
  */
 
 #include "bench_common.h"
@@ -11,25 +15,27 @@ int
 main()
 {
     using namespace ndp;
+    using driver::AppResult;
     bench::banner("fig21_window_l1", "Figure 21");
 
-    std::vector<std::string> headers = {"app"};
-    for (int w = 1; w <= 8; ++w)
-        headers.push_back("w=" + std::to_string(w));
-    Table table(headers);
-
-    std::vector<driver::ExperimentRunner> fixed;
+    std::vector<driver::ExperimentConfig> configs;
+    std::vector<std::string> labels;
     for (int w = 1; w <= 8; ++w) {
         driver::ExperimentConfig cfg;
         cfg.partition.fixedWindowSize = w;
-        fixed.emplace_back(cfg);
+        configs.push_back(cfg);
+        labels.push_back("w=" + std::to_string(w));
     }
 
-    bench::forEachApp([&](const workloads::Workload &w) {
-        table.row().cell(w.name);
-        for (auto &runner : fixed)
-            table.cell(runner.runApp(w).l1HitRateImprovementPct());
-    });
-    table.print(std::cout);
+    const bench::SweepOutcome sweep = bench::runSweep(configs);
+
+    std::vector<bench::MetricColumn> columns;
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        columns.push_back({labels[c], c, [](const AppResult &r) {
+                               return r.l1HitRateImprovementPct();
+                           }});
+    bench::printMetricTable(sweep, columns);
+
+    bench::printTiming(labels, sweep);
     return 0;
 }

@@ -101,7 +101,6 @@ main()
         table.cell(sum / std::max(1, app_count), 3);
     table.print(std::cout);
 
-    bench::timingTable(cfg_labels, sweep.apps, sweep.grid);
-    bench::timingFooter(sweep.stats);
+    bench::printTiming(cfg_labels, sweep);
     return 0;
 }

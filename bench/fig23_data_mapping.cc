@@ -6,6 +6,10 @@
  * geomeans: 18.4% / 7.9% / 21.4% — data mapping alone is weaker
  * (mid-mesh pages have no clearly preferable controller), and the
  * combination is best.
+ *
+ * All 36 (app, config) runs fan out across NDP_BENCH_THREADS workers
+ * (and each run's loop nests across the same pool); the table is
+ * bit-identical for any thread count (timing on stderr).
  */
 
 #include "bench_common.h"
@@ -14,34 +18,33 @@ int
 main()
 {
     using namespace ndp;
+    using driver::AppResult;
     bench::banner("fig23_data_mapping", "Figure 23");
 
-    driver::ExperimentRunner ours;
+    driver::ExperimentConfig ours_cfg;
 
     driver::ExperimentConfig map_cfg;
     map_cfg.optimizeComputation = false;
     map_cfg.dataToMcRemap = true;
     map_cfg.planSelection = false;
-    driver::ExperimentRunner mapping(map_cfg);
 
     driver::ExperimentConfig combined_cfg;
     combined_cfg.dataToMcRemap = true;
-    driver::ExperimentRunner combined(combined_cfg);
 
-    Table table({"app", "ours%", "data-mapping%", "combined%"});
-    std::vector<double> v1, v2, v3;
-    bench::forEachApp([&](const workloads::Workload &w) {
-        v1.push_back(ours.runApp(w).execTimeReductionPct());
-        v2.push_back(mapping.runApp(w).execTimeReductionPct());
-        v3.push_back(combined.runApp(w).execTimeReductionPct());
-        table.row().cell(w.name).cell(v1.back()).cell(v2.back()).cell(
-            v3.back());
-    });
-    table.row()
-        .cell("geomean")
-        .cell(driver::geomeanPct(v1))
-        .cell(driver::geomeanPct(v2))
-        .cell(driver::geomeanPct(v3));
-    table.print(std::cout);
+    const bench::SweepOutcome sweep =
+        bench::runSweep({ours_cfg, map_cfg, combined_cfg});
+
+    const auto exec_reduction = [](const AppResult &r) {
+        return r.execTimeReductionPct();
+    };
+    bench::printMetricTable(
+        sweep, {{"ours%", 0, exec_reduction,
+                 bench::MetricColumn::Summary::Geomean},
+                {"data-mapping%", 1, exec_reduction,
+                 bench::MetricColumn::Summary::Geomean},
+                {"combined%", 2, exec_reduction,
+                 bench::MetricColumn::Summary::Geomean}});
+
+    bench::printTiming({"ours", "data-mapping", "combined"}, sweep);
     return 0;
 }

@@ -4,6 +4,10 @@
  * placement (CACTI/McPAT-style event energy model), for our approach
  * and the two ideal schemes of Section 6.4. Paper: 23.1% average
  * saving for the full approach.
+ *
+ * All 36 (app, config) runs fan out across NDP_BENCH_THREADS workers
+ * (and each run's loop nests across the same pool); the table is
+ * bit-identical for any thread count (timing on stderr).
  */
 
 #include "bench_common.h"
@@ -12,33 +16,30 @@ int
 main()
 {
     using namespace ndp;
+    using driver::AppResult;
     bench::banner("fig24_energy", "Figure 24");
 
-    driver::ExperimentRunner ours;
+    driver::ExperimentConfig ours_cfg;
 
     driver::ExperimentConfig ideal_net_cfg;
     ideal_net_cfg.optimizeComputation = false;
     ideal_net_cfg.idealNetwork = true;
-    driver::ExperimentRunner ideal_net(ideal_net_cfg);
 
     driver::ExperimentConfig oracle_cfg;
     oracle_cfg.partition.oracle = true;
-    driver::ExperimentRunner ideal_data(oracle_cfg);
 
-    Table table({"app", "ours%", "ideal-network%", "ideal-data%"});
-    std::vector<double> v1;
-    bench::forEachApp([&](const workloads::Workload &w) {
-        const auto a = ours.runApp(w);
-        const auto b = ideal_net.runApp(w);
-        const auto c = ideal_data.runApp(w);
-        v1.push_back(a.energyReductionPct());
-        table.row()
-            .cell(w.name)
-            .cell(a.energyReductionPct())
-            .cell(b.energyReductionPct())
-            .cell(c.energyReductionPct());
-    });
-    table.row().cell("mean").cell(arithmeticMean(v1)).cell("").cell("");
-    table.print(std::cout);
+    const bench::SweepOutcome sweep =
+        bench::runSweep({ours_cfg, ideal_net_cfg, oracle_cfg});
+
+    const auto energy_reduction = [](const AppResult &r) {
+        return r.energyReductionPct();
+    };
+    bench::printMetricTable(
+        sweep, {{"ours%", 0, energy_reduction,
+                 bench::MetricColumn::Summary::Mean},
+                {"ideal-network%", 1, energy_reduction},
+                {"ideal-data%", 2, energy_reduction}});
+
+    bench::printTiming({"ours", "ideal-network", "ideal-data"}, sweep);
     return 0;
 }

@@ -1,16 +1,101 @@
 #include "driver/experiment.h"
 
 #include <algorithm>
+#include <future>
 
 #include "baseline/data_to_mc.h"
 #include "ir/dependence.h"
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace ndp::driver {
 
-ExperimentRunner::ExperimentRunner(ExperimentConfig config)
-    : config_(std::move(config))
+ExperimentRunner::ExperimentRunner(ExperimentConfig config,
+                                   support::ThreadPool *pool)
+    : config_(std::move(config)), pool_(pool)
 {
+}
+
+NestResult
+ExperimentRunner::runNest(const workloads::Workload &workload,
+                          const ir::LoopNest &nest) const
+{
+    NestResult nr;
+    nr.nest = nest.name();
+    nr.analyzableFraction = ir::analyzableFraction(nest);
+
+    // A fresh machine per nest: caches, traffic, and the profile-
+    // trained miss predictor are nest-local state, which is what makes
+    // nests independent units of parallelism.
+    sim::ManycoreSystem system(config_.machine);
+    system.setMcdramArrays(workload.mcdramArrays);
+    sim::ExecutionEngine engine(system, config_.energy);
+    baseline::DefaultPlacement placement(system, workload.arrays,
+                                         config_.placement);
+
+    const std::vector<noc::NodeId> nodes =
+        placement.assignIterations(nest);
+    sim::ExecutionPlan default_plan = placement.buildPlan(nest, nodes);
+
+    // The default run doubles as the profiling pass: it trains the
+    // L2 miss predictor the partitioner consults.
+    nr.defaultRun = engine.run(default_plan);
+
+    if (config_.dataToMcRemap) {
+        system.addressMap().setPageMcOverride(baseline::profilePageToMc(
+            system, workload.arrays, nest, nodes));
+    }
+
+    sim::ExecutionPlan optimized_plan;
+    if (config_.optimizeComputation) {
+        partition::PartitionOptions popts = config_.partition;
+        popts.profileUtilization =
+            static_cast<double>(nr.defaultRun.totalBusyCycles) /
+            std::max<double>(
+                1.0, static_cast<double>(nr.defaultRun.makespanCycles *
+                                         config_.machine.meshCols *
+                                         config_.machine.meshRows));
+        partition::Partitioner partitioner(system, workload.arrays,
+                                           popts);
+        optimized_plan = partitioner.plan(nest, nodes);
+        nr.report = partitioner.report();
+    } else {
+        optimized_plan = placement.buildPlan(nest, nodes);
+    }
+
+    sim::EngineOptions opts;
+    opts.idealNetwork = config_.idealNetwork;
+    nr.optimizedRun = engine.run(optimized_plan, opts);
+
+    if (config_.planSelection && config_.optimizeComputation &&
+        nr.optimizedRun.makespanCycles > nr.defaultRun.makespanCycles) {
+        // Profile-guided selection: the transformation lost on
+        // this nest; ship the default plan instead. The report's
+        // planning statistics are cleared accordingly — no
+        // subcomputation was actually re-mapped.
+        nr.optimizedRun = engine.run(default_plan, opts);
+        partition::PartitionReport kept;
+        kept.chosenWindowSize = 1;
+        kept.statementsKeptDefault = nr.report.statementsKeptDefault +
+                                     nr.report.statementsSplit;
+        kept.defaultMovement = nr.report.defaultMovement;
+        kept.plannedMovement = nr.report.defaultMovement;
+        kept.movementPerWindowSize = nr.report.movementPerWindowSize;
+        kept.reuseMapHash = nr.report.reuseMapHash;
+        kept.reuseCopiesPlanned = nr.report.reuseCopiesPlanned;
+        for (const sim::InstanceStats &is : default_plan.instances) {
+            kept.movementReductionPct.add(0.0);
+            kept.degreeOfParallelism.add(1.0);
+            kept.syncsPerStatement.add(0.0);
+            kept.rawSyncsPerStatement.add(0.0);
+            (void)is;
+        }
+        nr.report = kept;
+    }
+
+    nr.predictorPredictions = system.missPredictor().predictions();
+    nr.predictorCorrect = system.missPredictor().correctPredictions();
+    return nr;
 }
 
 AppResult
@@ -19,93 +104,43 @@ ExperimentRunner::runApp(const workloads::Workload &workload) const
     AppResult result;
     result.app = workload.name;
 
-    sim::ManycoreSystem system(config_.machine);
-    system.setMcdramArrays(workload.mcdramArrays);
-    sim::ExecutionEngine engine(system, config_.energy);
+    // ---- Run every nest, serially or fanned out on the pool. ----
+    std::vector<NestResult> nest_results;
+    nest_results.reserve(workload.nests.size());
+    if (pool_ != nullptr && workload.nests.size() > 1) {
+        std::vector<std::future<NestResult>> futures;
+        futures.reserve(workload.nests.size());
+        for (const ir::LoopNest &nest : workload.nests) {
+            futures.push_back(pool_->submit([this, &workload, &nest]() {
+                return runNest(workload, nest);
+            }));
+        }
+        for (std::future<NestResult> &f : futures) {
+            // runApp may itself execute on a pool worker (a SweepRunner
+            // cell), so wait by helping rather than blocking.
+            pool_->waitHelping(f);
+            nest_results.push_back(f.get());
+        }
+    } else {
+        for (const ir::LoopNest &nest : workload.nests)
+            nest_results.push_back(runNest(workload, nest));
+    }
 
-    baseline::DefaultPlacement placement(system, workload.arrays,
-                                         config_.placement);
-
+    // ---- Merge in nest order: every aggregate below folds the nests
+    // left to right, so the result is byte-identical no matter which
+    // worker computed which NestResult. ----
     double analyzable_weighted = 0.0;
     std::int64_t analyzable_weight = 0;
     std::int64_t def_l1_hits = 0, def_l1_acc = 0;
     std::int64_t opt_l1_hits = 0, opt_l1_acc = 0;
+    std::int64_t pred_total = 0, pred_correct = 0;
     Accumulator def_avg_lat, opt_avg_lat;
     double def_max_lat = 0.0, opt_max_lat = 0.0;
 
-    for (const ir::LoopNest &nest : workload.nests) {
-        NestResult nr;
-        nr.nest = nest.name();
-        nr.analyzableFraction = ir::analyzableFraction(nest);
+    for (std::size_t n = 0; n < nest_results.size(); ++n) {
+        NestResult &nr = nest_results[n];
+        const ir::LoopNest &nest = workload.nests[n];
 
-        const std::vector<noc::NodeId> nodes =
-            placement.assignIterations(nest);
-        sim::ExecutionPlan default_plan =
-            placement.buildPlan(nest, nodes);
-
-        // The default run doubles as the profiling pass: it trains the
-        // L2 miss predictor the partitioner consults.
-        system.addressMap().setPageMcOverride({});
-        nr.defaultRun = engine.run(default_plan);
-
-        if (config_.dataToMcRemap) {
-            system.addressMap().setPageMcOverride(baseline::profilePageToMc(
-                system, workload.arrays, nest, nodes));
-        }
-
-        sim::ExecutionPlan optimized_plan;
-        if (config_.optimizeComputation) {
-            partition::PartitionOptions popts = config_.partition;
-            popts.profileUtilization =
-                static_cast<double>(nr.defaultRun.totalBusyCycles) /
-                std::max<double>(
-                    1.0, static_cast<double>(
-                             nr.defaultRun.makespanCycles *
-                             config_.machine.meshCols *
-                             config_.machine.meshRows));
-            partition::Partitioner partitioner(system, workload.arrays,
-                                               popts);
-            optimized_plan = partitioner.plan(nest, nodes);
-            nr.report = partitioner.report();
-        } else {
-            optimized_plan = placement.buildPlan(nest, nodes);
-        }
-
-        sim::EngineOptions opts;
-        opts.idealNetwork = config_.idealNetwork;
-        nr.optimizedRun = engine.run(optimized_plan, opts);
-
-        if (config_.planSelection && config_.optimizeComputation &&
-            nr.optimizedRun.makespanCycles >
-                nr.defaultRun.makespanCycles) {
-            // Profile-guided selection: the transformation lost on
-            // this nest; ship the default plan instead. The report's
-            // planning statistics are cleared accordingly — no
-            // subcomputation was actually re-mapped.
-            nr.optimizedRun = engine.run(default_plan, opts);
-            partition::PartitionReport kept;
-            kept.chosenWindowSize = 1;
-            kept.statementsKeptDefault =
-                nr.report.statementsKeptDefault +
-                nr.report.statementsSplit;
-            kept.defaultMovement = nr.report.defaultMovement;
-            kept.plannedMovement = nr.report.defaultMovement;
-            kept.movementPerWindowSize =
-                nr.report.movementPerWindowSize;
-            for (const sim::InstanceStats &is :
-                 default_plan.instances) {
-                kept.movementReductionPct.add(0.0);
-                kept.degreeOfParallelism.add(1.0);
-                kept.syncsPerStatement.add(0.0);
-                kept.rawSyncsPerStatement.add(0.0);
-                (void)is;
-            }
-            nr.report = kept;
-        }
-
-        system.addressMap().setPageMcOverride({});
-
-        // ---- Aggregate. ----
         result.defaultMakespan += nr.defaultRun.makespanCycles;
         result.optimizedMakespan += nr.optimizedRun.makespanCycles;
         result.defaultEnergy += nr.defaultRun.energy.total();
@@ -130,6 +165,9 @@ ExperimentRunner::runApp(const workloads::Workload &workload) const
                                nr.defaultRun.maxNetworkLatency);
         opt_max_lat = std::max(opt_max_lat,
                                nr.optimizedRun.maxNetworkLatency);
+
+        pred_total += nr.predictorPredictions;
+        pred_correct += nr.predictorCorrect;
 
         const std::int64_t weight =
             nest.iterationCount() *
@@ -158,9 +196,24 @@ ExperimentRunner::runApp(const workloads::Workload &workload) const
             ? 1.0
             : analyzable_weighted /
                   static_cast<double>(analyzable_weight);
-    result.predictorAccuracy = system.missPredictor().accuracy();
+    result.predictorAccuracy =
+        pred_total == 0 ? 0.0
+                        : static_cast<double>(pred_correct) /
+                              static_cast<double>(pred_total);
     return result;
 }
+
+namespace {
+
+/** Per-nest makespan totals of the Figure 18 isolation replays. */
+struct IsolationTotals
+{
+    std::int64_t def = 0;
+    std::int64_t full = 0;
+    std::int64_t s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+};
+
+} // namespace
 
 IsolationResult
 ExperimentRunner::runMetricIsolation(
@@ -169,17 +222,16 @@ ExperimentRunner::runMetricIsolation(
     IsolationResult iso;
     iso.app = workload.name;
 
-    sim::ManycoreSystem system(config_.machine);
-    system.setMcdramArrays(workload.mcdramArrays);
-    sim::ExecutionEngine engine(system, config_.energy);
-    baseline::DefaultPlacement placement(system, workload.arrays,
-                                         config_.placement);
+    // Like runNest(): each nest replays on its own fresh machine, so
+    // the isolation runs are independent and can fan out on the pool.
+    const auto run_nest = [this,
+                           &workload](const ir::LoopNest &nest) {
+        sim::ManycoreSystem system(config_.machine);
+        system.setMcdramArrays(workload.mcdramArrays);
+        sim::ExecutionEngine engine(system, config_.energy);
+        baseline::DefaultPlacement placement(system, workload.arrays,
+                                             config_.placement);
 
-    std::int64_t def_total = 0;
-    std::int64_t full_total = 0;
-    std::int64_t s1_total = 0, s2_total = 0, s3_total = 0, s4_total = 0;
-
-    for (const ir::LoopNest &nest : workload.nests) {
         const std::vector<noc::NodeId> nodes =
             placement.assignIterations(nest);
         sim::ExecutionPlan default_plan =
@@ -199,16 +251,16 @@ ExperimentRunner::runMetricIsolation(
         sim::ExecutionPlan optimized_plan = partitioner.plan(nest, nodes);
         const sim::SimResult opt = engine.run(optimized_plan);
 
-        def_total += def.makespanCycles;
-        full_total += config_.planSelection
-                          ? std::min(opt.makespanCycles,
-                                     def.makespanCycles)
-                          : opt.makespanCycles;
+        IsolationTotals t;
+        t.def = def.makespanCycles;
+        t.full = config_.planSelection
+                     ? std::min(opt.makespanCycles, def.makespanCycles)
+                     : opt.makespanCycles;
 
         // S1: the default code with the optimized L1 hit/miss profile.
         sim::EngineOptions s1;
         s1.l1HitRateOverride = opt.l1HitRate();
-        s1_total += engine.run(default_plan, s1).makespanCycles;
+        t.s1 = engine.run(default_plan, s1).makespanCycles;
 
         // S2: the default code paying the optimized data movement —
         // scale every network latency by the movement ratio.
@@ -218,19 +270,50 @@ ExperimentRunner::runMetricIsolation(
                 ? 1.0
                 : static_cast<double>(opt.dataMovementFlitHops) /
                       static_cast<double>(def.dataMovementFlitHops);
-        s2_total += engine.run(default_plan, s2).makespanCycles;
+        t.s2 = engine.run(default_plan, s2).makespanCycles;
 
         // S3: the default code with the optimized degree of
         // subcomputation parallelism.
         sim::EngineOptions s3;
         s3.parallelismSpeedup = std::max(
             1.0, partitioner.report().degreeOfParallelism.mean());
-        s3_total += engine.run(default_plan, s3).makespanCycles;
+        t.s3 = engine.run(default_plan, s3).makespanCycles;
 
         // S4: the default code paying the optimized synchronisations.
         sim::EngineOptions s4;
         s4.extraSyncs = opt.syncCount;
-        s4_total += engine.run(default_plan, s4).makespanCycles;
+        t.s4 = engine.run(default_plan, s4).makespanCycles;
+        return t;
+    };
+
+    std::vector<IsolationTotals> totals;
+    totals.reserve(workload.nests.size());
+    if (pool_ != nullptr && workload.nests.size() > 1) {
+        std::vector<std::future<IsolationTotals>> futures;
+        futures.reserve(workload.nests.size());
+        for (const ir::LoopNest &nest : workload.nests) {
+            futures.push_back(pool_->submit(
+                [&run_nest, &nest]() { return run_nest(nest); }));
+        }
+        for (std::future<IsolationTotals> &f : futures) {
+            pool_->waitHelping(f);
+            totals.push_back(f.get());
+        }
+    } else {
+        for (const ir::LoopNest &nest : workload.nests)
+            totals.push_back(run_nest(nest));
+    }
+
+    std::int64_t def_total = 0;
+    std::int64_t full_total = 0;
+    std::int64_t s1_total = 0, s2_total = 0, s3_total = 0, s4_total = 0;
+    for (const IsolationTotals &t : totals) {
+        def_total += t.def;
+        full_total += t.full;
+        s1_total += t.s1;
+        s2_total += t.s2;
+        s3_total += t.s3;
+        s4_total += t.s4;
     }
 
     const auto pct = [&](std::int64_t v) {

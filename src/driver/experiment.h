@@ -8,6 +8,14 @@
  * of a workload, and aggregates all the metrics the paper's evaluation
  * reports (Sections 6.2-6.7). One ExperimentConfig describes one bar
  * of one figure; the benches compose them.
+ *
+ * Loop nests are independent experiments: each one owns a fresh
+ * machine (caches, traffic, and the profile-trained miss predictor are
+ * per-nest state), mirroring the paper's §3 observation that sibling
+ * subtrees execute in parallel. An ExperimentRunner given a
+ * support::ThreadPool therefore fans the nests of one app out across
+ * the pool; NestResults are merged in nest order, so the AppResult is
+ * byte-identical to the serial (no-pool) path.
  */
 
 #include <cstdint>
@@ -18,6 +26,10 @@
 #include "partition/partitioner.h"
 #include "sim/engine.h"
 #include "workloads/workload.h"
+
+namespace ndp::support {
+class ThreadPool;
+}
 
 namespace ndp::driver {
 
@@ -57,6 +69,9 @@ struct NestResult
     sim::SimResult optimizedRun;
     partition::PartitionReport report;
     double analyzableFraction = 1.0;
+    /** Miss-predictor totals of this nest's machine (Table 2). */
+    std::int64_t predictorPredictions = 0;
+    std::int64_t predictorCorrect = 0;
 };
 
 /** One application under one configuration. */
@@ -147,12 +162,29 @@ struct IsolationResult
 class ExperimentRunner
 {
   public:
-    explicit ExperimentRunner(ExperimentConfig config = {});
+    /**
+     * @param pool when non-null, runApp() partitions independent loop
+     *        nests concurrently on it (nest-level parallelism, cutting
+     *        single-app latency). Null runs the nests serially. Both
+     *        paths merge NestResults in nest order and produce
+     *        byte-identical AppResults.
+     */
+    explicit ExperimentRunner(ExperimentConfig config = {},
+                              support::ThreadPool *pool = nullptr);
 
     const ExperimentConfig &config() const { return config_; }
 
-    /** Run one application end to end (fresh machine). */
+    /** Run one application end to end (fresh machine per nest). */
     AppResult runApp(const workloads::Workload &workload) const;
+
+    /**
+     * Run one loop nest on its own fresh machine: the profiling
+     * default run, the partitioner, the optimized run, and
+     * profile-guided plan selection. Pure function of (config,
+     * workload, nest) — the unit of nest-level parallelism.
+     */
+    NestResult runNest(const workloads::Workload &workload,
+                       const ir::LoopNest &nest) const;
 
     /** Figure 18: replay the default plan with one donor metric each. */
     IsolationResult runMetricIsolation(
@@ -160,6 +192,7 @@ class ExperimentRunner
 
   private:
     ExperimentConfig config_;
+    support::ThreadPool *pool_;
 };
 
 /** Geometric mean of max(value,floor) percentages over apps. */

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <ostream>
 #include <thread>
 
 namespace ndp::driver {
@@ -18,8 +19,18 @@ secondsSince(std::chrono::steady_clock::time_point start)
 
 } // namespace
 
-SweepRunner::SweepRunner(int threads)
-    : threads_(threads > 0 ? threads : defaultThreads())
+void
+SweepStats::printSummary(std::ostream &os) const
+{
+    os << "[sweep] " << cells << " runs on " << threads
+       << " thread(s): " << wallSeconds << "s wall, " << cellSecondsSum
+       << "s serial-equivalent (speedup x" << speedup()
+       << "; set NDP_BENCH_THREADS to change)\n";
+}
+
+SweepRunner::SweepRunner(int threads, bool nest_parallel)
+    : threads_(threads > 0 ? threads : defaultThreads()),
+      nestParallel_(nest_parallel)
 {
 }
 
@@ -43,17 +54,21 @@ SweepRunner::runGrid(const std::vector<workloads::Workload> &apps,
 
     // One future per cell, submitted app-major so the earliest table
     // rows become available first. Each task owns its ExperimentRunner
-    // (and, inside runApp, its ManycoreSystem); the workload is shared
-    // read-only.
+    // (and, inside runApp, one ManycoreSystem per nest); the workload
+    // is shared read-only. With nest parallelism on, the cell's nests
+    // are nested tasks on this same pool — waits inside runApp help
+    // (drain the queue) instead of blocking, so the FIFO pool serves
+    // both axes without deadlock.
     support::ThreadPool pool(static_cast<std::size_t>(threads_));
+    support::ThreadPool *nest_pool = nestParallel_ ? &pool : nullptr;
     std::vector<std::future<SweepCell>> futures;
     futures.reserve(apps.size() * configs.size());
     for (const workloads::Workload &app : apps) {
         for (const ExperimentConfig &config : configs) {
-            futures.push_back(pool.submit([&app, &config]() {
+            futures.push_back(pool.submit([&app, &config, nest_pool]() {
                 const auto cell_start =
                     std::chrono::steady_clock::now();
-                ExperimentRunner runner(config);
+                ExperimentRunner runner(config, nest_pool);
                 SweepCell cell;
                 cell.result = runner.runApp(app);
                 cell.wallSeconds = secondsSince(cell_start);
@@ -71,7 +86,9 @@ SweepRunner::runGrid(const std::vector<workloads::Workload> &apps,
     for (std::size_t a = 0; a < apps.size(); ++a) {
         grid[a].reserve(configs.size());
         for (std::size_t c = 0; c < configs.size(); ++c) {
-            grid[a].push_back(futures[at++].get());
+            std::future<SweepCell> &f = futures[at++];
+            pool.waitHelping(f);
+            grid[a].push_back(f.get());
             stats_.cellSecondsSum += grid[a].back().wallSeconds;
             ++stats_.cells;
         }

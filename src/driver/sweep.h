@@ -5,19 +5,31 @@
  * @file
  * Parallel experiment sweeps. Every (workload, ExperimentConfig) pair
  * of a figure reproduction is an independent computation — runApp()
- * builds its own ManycoreSystem, every stochastic choice flows through
- * a per-run seeded Rng, and workloads are only read — so a sweep fans
- * the grid out across a support::ThreadPool and collects results in
- * submission order.
+ * builds its own ManycoreSystem per nest, every stochastic choice
+ * flows through a per-run seeded Rng, and workloads are only read —
+ * so a sweep fans the grid out across a support::ThreadPool and
+ * collects results in submission order.
+ *
+ * Two parallelism axes share one pool:
+ *  - across the sweep: one task per (app, config) cell (throughput);
+ *  - within an app: each cell fans its independent loop nests out as
+ *    nested tasks (latency), because ExperimentRunner::runNest is a
+ *    pure function of (config, workload, nest). Nested waits help —
+ *    they drain queued tasks instead of blocking — so sharing the
+ *    FIFO pool between both axes cannot deadlock.
  *
  * Determinism contract: a sweep's *results* are bit-identical for any
- * thread count, including 1. Only the wall-clock timings attached to
- * each cell vary between runs; benches therefore print result tables
- * to stdout and timing tables to stderr, keeping stdout diffable.
+ * thread count, including 1, and with nest parallelism on or off —
+ * NestResults merge in nest order, cells in submission order. Only
+ * the wall-clock timings attached to each cell vary between runs;
+ * benches therefore print result tables to stdout and timing tables
+ * to stderr, keeping stdout diffable.
  */
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
+#include <iosfwd>
 #include <vector>
 
 #include "driver/experiment.h"
@@ -50,6 +62,13 @@ struct SweepStats
     {
         return wallSeconds <= 0.0 ? 1.0 : cellSecondsSum / wallSeconds;
     }
+
+    /**
+     * One-line wall-clock/speedup summary, shared by every harness.
+     * Print it to stderr: timing is the one nondeterministic output
+     * and stdout must stay diffable across thread counts.
+     */
+    void printSummary(std::ostream &os) const;
 };
 
 /**
@@ -59,10 +78,16 @@ struct SweepStats
 class SweepRunner
 {
   public:
-    /** @param threads worker count; <= 0 uses defaultThreads(). */
-    explicit SweepRunner(int threads = 0);
+    /**
+     * @param threads worker count; <= 0 uses defaultThreads().
+     * @param nest_parallel also fan each cell's loop nests out on the
+     *        same pool (see the file comment; results are identical
+     *        either way, single-app latency is not).
+     */
+    explicit SweepRunner(int threads = 0, bool nest_parallel = true);
 
     int threads() const { return threads_; }
+    bool nestParallel() const { return nestParallel_; }
 
     /**
      * Worker count for sweeps: the NDP_BENCH_THREADS environment
@@ -84,30 +109,57 @@ class SweepRunner
      * Generic ordered fan-out for sweeps that are not plain
      * (app x config) grids (e.g. Figure 18's metric-isolation runs):
      * evaluates @p fn(0..count-1) on the pool and returns the results
-     * indexed by input. @p fn must be safe to call concurrently.
+     * indexed by input. @p fn must be safe to call concurrently. The
+     * pool is exposed to @p fn so it can fan nested work out too
+     * (ExperimentRunner's nest-level axis). Fills stats() like
+     * runGrid().
      */
     template <typename T>
     std::vector<T>
     mapOrdered(std::size_t count,
-               const std::function<T(std::size_t)> &fn)
+               const std::function<T(std::size_t, support::ThreadPool &)>
+                   &fn)
     {
+        const auto sweep_start = std::chrono::steady_clock::now();
         support::ThreadPool pool(static_cast<std::size_t>(threads_));
+        std::vector<double> seconds(count, 0.0);
         std::vector<std::future<T>> futures;
         futures.reserve(count);
-        for (std::size_t i = 0; i < count; ++i)
-            futures.push_back(pool.submit([&fn, i]() { return fn(i); }));
+        for (std::size_t i = 0; i < count; ++i) {
+            futures.push_back(pool.submit([&fn, &pool, &seconds, i]() {
+                const auto start = std::chrono::steady_clock::now();
+                T value = fn(i, pool);
+                seconds[i] = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 start)
+                                 .count();
+                return value;
+            }));
+        }
         std::vector<T> results;
         results.reserve(count);
-        for (std::future<T> &f : futures)
+        for (std::future<T> &f : futures) {
+            pool.waitHelping(f);
             results.push_back(f.get());
+        }
+        stats_ = SweepStats{};
+        stats_.threads = threads_;
+        stats_.cells = count;
+        for (double s : seconds)
+            stats_.cellSecondsSum += s;
+        stats_.wallSeconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 sweep_start)
+                                 .count();
         return results;
     }
 
-    /** Timing of the most recent runGrid() call. */
+    /** Timing of the most recent runGrid()/mapOrdered() call. */
     const SweepStats &stats() const { return stats_; }
 
   private:
     int threads_;
+    bool nestParallel_;
     SweepStats stats_;
 };
 

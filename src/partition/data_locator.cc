@@ -28,6 +28,16 @@ VariableToNodeMap::dropOldest(noc::NodeId node)
 }
 
 void
+VariableToNodeMap::mixHash(std::uint64_t value)
+{
+    // FNV-1a over the value's bytes.
+    for (int b = 0; b < 8; ++b) {
+        hash_ ^= (value >> (8 * b)) & 0xff;
+        hash_ *= 0x100000001b3ull;
+    }
+}
+
+void
 VariableToNodeMap::add(mem::Addr addr, noc::NodeId node)
 {
     const std::uint64_t line = mem::lineNumber(addr);
@@ -43,6 +53,9 @@ VariableToNodeMap::add(mem::Addr addr, noc::NodeId node)
         queue.push_back(line);
     }
     nodes.push_back(node);
+    mixHash(line);
+    mixHash(static_cast<std::uint64_t>(node));
+    ++inserts_;
 }
 
 void
@@ -50,6 +63,8 @@ VariableToNodeMap::clear()
 {
     map_.clear();
     fifo_.clear();
+    // The digest deliberately survives clear(): it fingerprints the
+    // whole insertion history, not the live contents.
 }
 
 const std::vector<noc::NodeId> &

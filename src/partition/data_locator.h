@@ -67,10 +67,24 @@ class VariableToNodeMap
     void clear();
     std::size_t size() const { return map_.size(); }
 
+    /**
+     * FNV-1a digest of the (line, node) insertion sequence — evictions
+     * included, so two maps with the same digest were built by the
+     * same add() history. The nest-parallel equivalence tests compare
+     * digests to pin that per-nest fan-out replays exactly the serial
+     * window state.
+     */
+    std::uint64_t insertionHash() const { return hash_; }
+    /** Number of accepted (non-duplicate) add() calls. */
+    std::int64_t insertionCount() const { return inserts_; }
+
   private:
     void dropOldest(noc::NodeId node);
+    void mixHash(std::uint64_t value);
 
     std::size_t capacity_;
+    std::uint64_t hash_ = 0xcbf29ce484222325ull; // FNV offset basis
+    std::int64_t inserts_ = 0;
     std::unordered_map<std::uint64_t, std::vector<noc::NodeId>> map_;
     /** Per-node FIFO of the lines recorded for it (oldest first). */
     std::unordered_map<noc::NodeId, std::vector<std::uint64_t>> fifo_;

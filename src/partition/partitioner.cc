@@ -612,6 +612,16 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
             }
         }
 
+        // Fold this window's reuse-map history into the nest digest
+        // (boost-style combine: window order matters, by design).
+        report.reuseMapHash ^= varmap.insertionHash() +
+                               0x9e3779b97f4a7c15ull +
+                               (report.reuseMapHash << 6) +
+                               (report.reuseMapHash >> 2);
+        // insertionCount() is cumulative over the whole plan, so the
+        // latest window's value is the running total.
+        report.reuseCopiesPlanned = varmap.insertionCount();
+
         stream_pos = window_end;
     }
 

@@ -91,6 +91,16 @@ struct PartitionReport
     std::int64_t statementsKeptDefault = 0;
     /** Total planned movement for every window size probed (Fig 20). */
     std::vector<std::int64_t> movementPerWindowSize;
+    /**
+     * Order-dependent digest of every window's variable2node insertion
+     * history for the chosen plan. Window semantics depend on the
+     * order statements stream through the planner, so equal digests
+     * mean the reuse state evolved identically — the invariant the
+     * nest-parallel equivalence tests pin.
+     */
+    std::uint64_t reuseMapHash = 0;
+    /** Total variable2node entries recorded across all windows. */
+    std::int64_t reuseCopiesPlanned = 0;
 };
 
 /** Produces the optimized ExecutionPlan for a loop nest. */

@@ -23,6 +23,21 @@ ThreadPool::~ThreadPool()
         worker.join();
 }
 
+bool
+ThreadPool::tryRunOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    return true;
+}
+
 void
 ThreadPool::workerLoop()
 {

@@ -10,8 +10,17 @@
  * contribution is that submit() returns a std::future, so callers
  * collect results in *submission* order no matter which worker ran
  * which task or in what order tasks finished.
+ *
+ * Nested submission is supported through helping: a task that submits
+ * sub-tasks to its own pool must not block in future::get() (with a
+ * FIFO pool and no work stealing every worker could end up waiting on
+ * work that no thread is left to run). waitHelping() instead drains
+ * queued tasks on the waiting thread until the future is ready, which
+ * makes one pool safe to share between the sweep level (one task per
+ * (app, config) cell) and the nest level inside each cell.
  */
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -64,6 +73,33 @@ class ThreadPool
         }
         cv_.notify_one();
         return future;
+    }
+
+    /**
+     * Run one queued task on the calling thread, if any is pending.
+     * @return true when a task was executed.
+     */
+    bool tryRunOne();
+
+    /**
+     * Block until @p future is ready, executing queued pool tasks on
+     * this thread while waiting. Required (instead of future::get())
+     * whenever the waiter itself runs on a pool worker — see the file
+     * comment on nested submission.
+     */
+    template <typename T>
+    void
+    waitHelping(const std::future<T> &future)
+    {
+        using namespace std::chrono_literals;
+        while (future.wait_for(0s) != std::future_status::ready) {
+            if (!tryRunOne()) {
+                // Nothing queued: the task is in flight on another
+                // worker; a bounded wait avoids spinning while staying
+                // responsive to new nested submissions.
+                future.wait_for(100us);
+            }
+        }
     }
 
   private:

@@ -1,9 +1,10 @@
 /**
  * @file
  * Golden regression test for the reproduction's headline numbers: the
- * Figure 13 (data-movement reduction) and Figure 17 (execution-time
- * reduction) metrics of three representative apps at the small bench
- * scale (NDP_BENCH_SCALE=256 equivalent), compared against a
+ * Figure 13 (data-movement reduction), Figure 14 (subcomputation
+ * parallelism), Figure 17 (execution-time reduction), and Figure 24
+ * (energy reduction) metrics of three representative apps at the small
+ * bench scale (NDP_BENCH_SCALE=256 equivalent), compared against a
  * checked-in golden file with a small tolerance. The pipeline is
  * deterministic, so the tolerance only absorbs floating-point drift
  * across toolchains (reassociation, FMA contraction) — a behavioural
@@ -73,6 +74,10 @@ computeHeadlines()
             r.movementReductionPct.mean();
         metrics[r.app + "/fig13_max_movement_reduction_pct"] =
             r.movementReductionPct.max();
+        metrics[r.app + "/fig14_avg_dop"] =
+            r.degreeOfParallelism.mean();
+        metrics[r.app + "/fig14_max_dop"] =
+            r.degreeOfParallelism.max();
         metrics[r.app + "/fig17_exec_time_reduction_pct"] =
             r.execTimeReductionPct();
         metrics[r.app + "/fig24_energy_reduction_pct"] =

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "driver/sweep.h"
+#include "support/thread_pool.h"
 #include "workloads/workload.h"
 
 namespace {
@@ -55,7 +56,10 @@ fingerprint(const AppResult &r)
            << nr.optimizedRun.makespanCycles << ','
            << nr.defaultRun.dataMovementFlitHops << ','
            << nr.optimizedRun.dataMovementFlitHops << ','
-           << nr.optimizedRun.syncCount;
+           << nr.optimizedRun.syncCount << ','
+           << nr.predictorPredictions << ',' << nr.predictorCorrect
+           << ',' << nr.report.reuseMapHash << ','
+           << nr.report.reuseCopiesPlanned;
     }
     return os.str();
 }
@@ -122,6 +126,114 @@ TEST(SweepDeterminismTest, GridMatchesSerialExperimentRunner)
                 << apps[a].name << " config " << c;
         }
     }
+}
+
+/**
+ * Fingerprints of one harness-shaped grid — the exact configs a bench
+ * binary sweeps — for a subset of apps at the golden scale.
+ */
+std::vector<std::string>
+harnessFingerprints(const std::vector<std::string> &app_names,
+                    const std::vector<ExperimentConfig> &configs,
+                    int threads)
+{
+    workloads::WorkloadFactory factory(256);
+    std::vector<workloads::Workload> apps;
+    for (const std::string &name : app_names)
+        apps.push_back(factory.build(name));
+    SweepRunner runner(threads);
+    const auto grid = runner.runGrid(apps, configs);
+    std::vector<std::string> prints;
+    for (const auto &row : grid)
+        for (const SweepCell &cell : row)
+            prints.push_back(fingerprint(cell.result));
+    return prints;
+}
+
+void
+expectThreadCountInvariant(const std::vector<std::string> &app_names,
+                           const std::vector<ExperimentConfig> &configs,
+                           const char *family)
+{
+    const auto t1 = harnessFingerprints(app_names, configs, 1);
+    const auto t2 = harnessFingerprints(app_names, configs, 2);
+    const auto t8 = harnessFingerprints(app_names, configs, 8);
+    ASSERT_EQ(t1.size(), app_names.size() * configs.size()) << family;
+    ASSERT_EQ(t2.size(), t1.size()) << family;
+    ASSERT_EQ(t8.size(), t1.size()) << family;
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1[i], t2[i])
+            << family << " cell " << i << " differs 1 vs 2 threads";
+        EXPECT_EQ(t1[i], t8[i])
+            << family << " cell " << i << " differs 1 vs 8 threads";
+    }
+}
+
+// One converted harness per family — a figure, a table, an ablation —
+// pinned at 1/2/8 threads with the configs the bench binary uses.
+
+TEST(SweepDeterminismTest, Fig17HarnessGridIsThreadCountInvariant)
+{
+    ExperimentConfig ours;
+    ExperimentConfig ideal_net;
+    ideal_net.optimizeComputation = false;
+    ideal_net.idealNetwork = true;
+    ExperimentConfig oracle;
+    oracle.partition.oracle = true;
+    expectThreadCountInvariant({"water", "lu"},
+                               {ours, ideal_net, oracle}, "fig17");
+}
+
+TEST(SweepDeterminismTest, Table2HarnessGridIsThreadCountInvariant)
+{
+    expectThreadCountInvariant({"water", "fft"}, {ExperimentConfig{}},
+                               "table2");
+}
+
+TEST(SweepDeterminismTest, AblationHarnessGridIsThreadCountInvariant)
+{
+    ExperimentConfig full;
+    ExperimentConfig no_reuse;
+    no_reuse.partition.exploitReuse = false;
+    ExperimentConfig window1;
+    window1.partition.fixedWindowSize = 1;
+    expectThreadCountInvariant({"water"}, {full, no_reuse, window1},
+                               "ablation_design_choices");
+}
+
+TEST(SweepDeterminismTest, NestParallelMatchesSerialAppResult)
+{
+    // The within-app axis: an ExperimentRunner handed a pool fans the
+    // app's loop nests out but must still merge byte-identical
+    // AppResults (NestResults merge in nest order).
+    workloads::WorkloadFactory factory(256);
+    ExperimentConfig config;
+    const ExperimentRunner serial(config);
+    support::ThreadPool pool(4);
+    const ExperimentRunner parallel(config, &pool);
+    for (const std::string &name : {"water", "lu", "radix"}) {
+        const workloads::Workload app = factory.build(name);
+        ASSERT_GT(app.nests.size(), 1u)
+            << name << " no longer exercises multi-nest fan-out";
+        EXPECT_EQ(fingerprint(serial.runApp(app)),
+                  fingerprint(parallel.runApp(app)))
+            << name;
+    }
+}
+
+TEST(SweepStatsTest, PrintSummaryReportsRunsThreadsAndSpeedup)
+{
+    SweepStats stats;
+    stats.cells = 24;
+    stats.threads = 8;
+    stats.wallSeconds = 2.0;
+    stats.cellSecondsSum = 12.0;
+    std::ostringstream os;
+    stats.printSummary(os);
+    EXPECT_EQ(os.str(),
+              "[sweep] 24 runs on 8 thread(s): 2s wall, 12s "
+              "serial-equivalent (speedup x6; set NDP_BENCH_THREADS "
+              "to change)\n");
 }
 
 TEST(SweepDeterminismTest, StatsCoverEveryCell)

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "driver/sweep.h"
@@ -99,10 +100,65 @@ TEST(SweepRunnerTest, MapOrderedReturnsIndexedResults)
 {
     driver::SweepRunner runner(4);
     const std::vector<int> out = runner.mapOrdered<int>(
-        50, [](std::size_t i) { return static_cast<int>(i) * 3; });
+        50, [](std::size_t i, support::ThreadPool &) {
+            return static_cast<int>(i) * 3;
+        });
     ASSERT_EQ(out.size(), 50u);
     for (int i = 0; i < 50; ++i)
         EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 3);
+    EXPECT_EQ(runner.stats().cells, 50u);
+    EXPECT_EQ(runner.stats().threads, 4);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionWithHelpingWaitCompletes)
+{
+    // A task that submits sub-tasks to its own pool and waits for them
+    // must complete even on a single-worker pool: waitHelping drains
+    // the queue on the waiting thread instead of blocking. This is the
+    // deadlock-freedom contract behind sharing one pool between the
+    // sweep level and the nest level.
+    for (std::size_t threads : {1u, 2u, 4u}) {
+        support::ThreadPool pool(threads);
+        auto outer = pool.submit([&pool]() {
+            std::vector<std::future<int>> inner;
+            for (int i = 0; i < 16; ++i)
+                inner.push_back(pool.submit([i]() { return i + 1; }));
+            int sum = 0;
+            for (std::future<int> &f : inner) {
+                pool.waitHelping(f);
+                sum += f.get();
+            }
+            return sum;
+        });
+        pool.waitHelping(outer);
+        EXPECT_EQ(outer.get(), 136) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPoolTest, TryRunOneReportsQueueState)
+{
+    support::ThreadPool pool(1);
+    // Occupy the single worker so a queued probe task stays queued.
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    std::atomic<bool> started{false};
+    auto blocker = pool.submit([gate, &started]() {
+        started.store(true, std::memory_order_release);
+        gate.wait();
+        return 0;
+    });
+    // Wait until the blocker occupies the worker: if it were still
+    // queued, waitHelping below could steal it onto this thread and
+    // block on the gate we only release afterwards.
+    while (!started.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    auto probe = pool.submit([]() { return 7; });
+    // The main thread can steal and run the queued probe itself.
+    pool.waitHelping(probe);
+    EXPECT_EQ(probe.get(), 7);
+    EXPECT_FALSE(pool.tryRunOne()); // nothing left queued
+    release.set_value();
+    EXPECT_EQ(blocker.get(), 0);
 }
 
 } // namespace
