@@ -83,6 +83,8 @@ ExperimentRunner::runNest(const workloads::Workload &workload,
         kept.movementPerWindowSize = nr.report.movementPerWindowSize;
         kept.reuseMapHash = nr.report.reuseMapHash;
         kept.reuseCopiesPlanned = nr.report.reuseCopiesPlanned;
+        // The compile cost was paid regardless of which plan shipped.
+        kept.compile = nr.report.compile;
         for (const sim::InstanceStats &is : default_plan.instances) {
             kept.movementReductionPct.add(0.0);
             kept.degreeOfParallelism.add(1.0);
@@ -154,6 +156,7 @@ ExperimentRunner::runApp(const workloads::Workload &workload) const
             nr.report.rawSyncsPerStatement);
         for (int c = 0; c < 3; ++c)
             result.offloadedOps[c] += nr.report.offloadedOps[c];
+        result.compile.merge(nr.report.compile);
 
         def_l1_hits += nr.defaultRun.l1.hits;
         def_l1_acc += nr.defaultRun.l1.accesses();

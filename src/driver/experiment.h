@@ -107,6 +107,8 @@ struct AppResult
     double predictorAccuracy = 0.0;
     /** Offloaded op counts by category (Table 3). */
     std::int64_t offloadedOps[3] = {0, 0, 0};
+    /** Compile-loop cost/caching counters, merged over all nests. */
+    partition::CompileStats compile;
 
     double
     execTimeReductionPct() const

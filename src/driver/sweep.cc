@@ -26,6 +26,10 @@ SweepStats::printSummary(std::ostream &os) const
        << " thread(s): " << wallSeconds << "s wall, " << cellSecondsSum
        << "s serial-equivalent (speedup x" << speedup()
        << "; set NDP_BENCH_THREADS to change)\n";
+    if (splitPlansComputed + splitPlansMemoized > 0)
+        os << "[sweep] split-plan cache: " << splitPlansMemoized
+           << " memoized / " << splitPlansComputed << " computed ("
+           << 100.0 * splitCacheHitRate() << "% hit rate)\n";
 }
 
 SweepRunner::SweepRunner(int threads, bool nest_parallel)
@@ -90,6 +94,10 @@ SweepRunner::runGrid(const std::vector<workloads::Workload> &apps,
             pool.waitHelping(f);
             grid[a].push_back(f.get());
             stats_.cellSecondsSum += grid[a].back().wallSeconds;
+            stats_.splitPlansComputed +=
+                grid[a].back().result.compile.plansComputed;
+            stats_.splitPlansMemoized +=
+                grid[a].back().result.compile.plansMemoized;
             ++stats_.cells;
         }
     }

@@ -28,6 +28,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <vector>
@@ -55,12 +56,27 @@ struct SweepStats
     double cellSecondsSum = 0.0;
     int threads = 1;
     std::size_t cells = 0;
+    /** Split plans Kruskal actually ran for, summed over all cells. */
+    std::int64_t splitPlansComputed = 0;
+    /** Split plans replayed from the per-nest cache. */
+    std::int64_t splitPlansMemoized = 0;
 
     /** Serial-equivalent time / wall time: the observed speedup. */
     double
     speedup() const
     {
         return wallSeconds <= 0.0 ? 1.0 : cellSecondsSum / wallSeconds;
+    }
+
+    /** Fraction of split requests served from the plan cache. */
+    double
+    splitCacheHitRate() const
+    {
+        const std::int64_t total = splitPlansComputed + splitPlansMemoized;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(splitPlansMemoized) /
+                         static_cast<double>(total);
     }
 
     /**

@@ -46,12 +46,20 @@ resolveRef(const ArrayRef &ref, const IterationVector &iter,
 std::vector<ResolvedRef>
 resolveReads(const StatementInstance &inst, const ArrayTable &arrays)
 {
-    NDP_CHECK(inst.stmt != nullptr, "instance without statement");
     std::vector<ResolvedRef> out;
+    resolveReadsInto(inst, arrays, out);
+    return out;
+}
+
+void
+resolveReadsInto(const StatementInstance &inst, const ArrayTable &arrays,
+                 std::vector<ResolvedRef> &out)
+{
+    NDP_CHECK(inst.stmt != nullptr, "instance without statement");
+    out.clear();
     out.reserve(inst.stmt->reads().size());
     for (const ArrayRef *ref : inst.stmt->reads())
         out.push_back(resolveRef(*ref, inst.iter, arrays));
-    return out;
 }
 
 ResolvedRef
@@ -59,6 +67,28 @@ resolveWrite(const StatementInstance &inst, const ArrayTable &arrays)
 {
     NDP_CHECK(inst.stmt != nullptr, "instance without statement");
     return resolveRef(inst.stmt->lhs(), inst.iter, arrays);
+}
+
+bool
+refsIterationInvariant(const Statement &stmt)
+{
+    // A constant affine subscript resolves the same whether direct or
+    // indirect: an indirect subscript at a fixed position reads a fixed
+    // index-array element, and index data does not change mid-plan.
+    const auto invariant = [](const ArrayRef &ref) {
+        for (const Subscript &s : ref.subscripts) {
+            if (!s.affine.isConstant())
+                return false;
+        }
+        return true;
+    };
+    if (!invariant(stmt.lhs()))
+        return false;
+    for (const ArrayRef *ref : stmt.reads()) {
+        if (!invariant(*ref))
+            return false;
+    }
+    return true;
 }
 
 } // namespace ndp::ir

@@ -60,9 +60,26 @@ ResolvedRef resolveRef(const ArrayRef &ref, const IterationVector &iter,
 std::vector<ResolvedRef> resolveReads(const StatementInstance &inst,
                                       const ArrayTable &arrays);
 
+/**
+ * resolveReads into a caller-owned buffer (cleared first). The
+ * partitioner's compile loop resolves every instance of a nest; reusing
+ * one buffer removes an allocation per statement instance.
+ */
+void resolveReadsInto(const StatementInstance &inst,
+                      const ArrayTable &arrays,
+                      std::vector<ResolvedRef> &out);
+
 /** Resolve the write (LHS) of @p inst. */
 ResolvedRef resolveWrite(const StatementInstance &inst,
                          const ArrayTable &arrays);
+
+/**
+ * True when every subscript of the statement's write and reads is a
+ * constant affine function: the resolved addresses are then identical
+ * at every iteration, so per-iteration re-resolution is pure waste
+ * (the pre-warm loop skips it).
+ */
+bool refsIterationInvariant(const Statement &stmt);
 
 } // namespace ndp::ir
 

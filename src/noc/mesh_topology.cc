@@ -19,6 +19,18 @@ MeshTopology::MeshTopology(std::int32_t cols, std::int32_t rows,
         nodeAt({0, rows_ - 1}),
         nodeAt({cols_ - 1, rows_ - 1}),
     };
+    // Precompute every pairwise distance once: O(N^2) int32 entries is
+    // a few KB for paper-scale meshes, and it turns the planner's and
+    // simulator's hottest function into a single table load.
+    const std::size_t n = static_cast<std::size_t>(nodeCount());
+    distanceTable_.resize(n * n);
+    for (NodeId a = 0; a < nodeCount(); ++a) {
+        for (NodeId b = 0; b < nodeCount(); ++b) {
+            distanceTable_[static_cast<std::size_t>(a) * n +
+                           static_cast<std::size_t>(b)] =
+                distanceUncached(a, b);
+        }
+    }
 }
 
 bool
@@ -42,7 +54,7 @@ MeshTopology::coordOf(NodeId node) const
 }
 
 std::int32_t
-MeshTopology::distance(NodeId a, NodeId b) const
+MeshTopology::distanceUncached(NodeId a, NodeId b) const
 {
     const Coord ca = coordOf(a);
     const Coord cb = coordOf(b);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "noc/coord.h"
+#include "support/error.h"
 
 namespace ndp::noc {
 
@@ -67,8 +68,28 @@ class MeshTopology
     NodeId nodeAt(const Coord &c) const;
     Coord coordOf(NodeId node) const;
 
-    /** Manhattan distance between two nodes. */
-    std::int32_t distance(NodeId a, NodeId b) const;
+    /**
+     * Manhattan (wrap-aware on a torus) distance between two nodes.
+     * Served from a precomputed O(N^2) table — distance() sits on the
+     * locate/MST/traffic hot paths, so it must be a single load.
+     */
+    std::int32_t
+    distance(NodeId a, NodeId b) const
+    {
+        NDP_CHECK(a >= 0 && a < nodeCount() && b >= 0 &&
+                      b < nodeCount(),
+                  "bad node pair " << a << ", " << b);
+        return distanceTable_[static_cast<std::size_t>(a) *
+                                  static_cast<std::size_t>(nodeCount()) +
+                              static_cast<std::size_t>(b)];
+    }
+
+    /**
+     * The same distance computed from coordinates, bypassing the
+     * table. Kept as the independent reference the property tests
+     * cross-check the LUT against.
+     */
+    std::int32_t distanceUncached(NodeId a, NodeId b) const;
 
     /**
      * The dense index of the unidirectional link from @p from to the
@@ -114,6 +135,8 @@ class MeshTopology
     bool torus_;
     std::int32_t linkCount_;
     std::vector<NodeId> mcNodes_;
+    /** distance(a, b) == distanceTable_[a * nodeCount() + b]. */
+    std::vector<std::int32_t> distanceTable_;
 };
 
 } // namespace ndp::noc

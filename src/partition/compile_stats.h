@@ -1,0 +1,103 @@
+#ifndef NDP_PARTITION_COMPILE_STATS_H
+#define NDP_PARTITION_COMPILE_STATS_H
+
+/**
+ * @file
+ * Counters for the partitioner's own compile loop: how many statement
+ * instances were planned, how many split plans were computed from
+ * scratch vs. replayed from the SplitPlanCache, and (optionally) where
+ * the nanoseconds went. The paper evaluates what the *plans* buy at run
+ * time; this layer makes the cost of *producing* the plans a measured,
+ * trackable quantity (the BENCH_partitioner.json trajectory).
+ *
+ * The phase timers are gated: when PartitionOptions::collectCompileTimers
+ * is off (the default) no clock is ever read — the counters alone are a
+ * handful of increments per instance.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+namespace ndp::partition {
+
+/** Compile-loop statistics for one planning pass (or a merge of many). */
+struct CompileStats
+{
+    /** Statement instances streamed through the planner. */
+    std::int64_t instancesPlanned = 0;
+    /** Instances whose split plan was needed (analyzable instances). */
+    std::int64_t splitsRequested = 0;
+    /** Split plans computed by running Kruskal/splitSet. */
+    std::int64_t plansComputed = 0;
+    /** Split plans replayed from the SplitPlanCache. */
+    std::int64_t plansMemoized = 0;
+    /** Split requests that bypassed the cache (load-balanced splits). */
+    std::int64_t cacheBypassed = 0;
+
+    // Phase timers, nanoseconds; zero unless collectCompileTimers was on.
+    std::int64_t resolveNs = 0; ///< resolveReads/resolveWrite
+    std::int64_t locateNs = 0;  ///< DataLocator::locate per operand
+    std::int64_t splitNs = 0;   ///< splitter runs + cache lookups
+    std::int64_t syncNs = 0;    ///< per-window sync minimisation
+    std::int64_t totalNs = 0;   ///< whole planWithWindow body
+
+    /** Cache hits over all cache-eligible split requests. */
+    double
+    hitRate() const
+    {
+        const std::int64_t eligible = plansComputed + plansMemoized;
+        return eligible == 0 ? 0.0
+                             : static_cast<double>(plansMemoized) /
+                                   static_cast<double>(eligible);
+    }
+
+    void
+    merge(const CompileStats &other)
+    {
+        instancesPlanned += other.instancesPlanned;
+        splitsRequested += other.splitsRequested;
+        plansComputed += other.plansComputed;
+        plansMemoized += other.plansMemoized;
+        cacheBypassed += other.cacheBypassed;
+        resolveNs += other.resolveNs;
+        locateNs += other.locateNs;
+        splitNs += other.splitNs;
+        syncNs += other.syncNs;
+        totalNs += other.totalNs;
+    }
+};
+
+/**
+ * RAII phase timer: accumulates the scope's duration into @p slot, or
+ * does nothing at all (no clock read) when constructed with nullptr —
+ * the pattern the planner uses to keep timers zero-cost when off.
+ */
+class ScopedPhaseTimer
+{
+  public:
+    explicit ScopedPhaseTimer(std::int64_t *slot) : slot_(slot)
+    {
+        if (slot_ != nullptr)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedPhaseTimer()
+    {
+        if (slot_ != nullptr) {
+            *slot_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+        }
+    }
+
+    ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+    ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+  private:
+    std::int64_t *slot_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace ndp::partition
+
+#endif // NDP_PARTITION_COMPILE_STATS_H

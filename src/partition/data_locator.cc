@@ -15,10 +15,16 @@ void
 VariableToNodeMap::dropOldest(noc::NodeId node)
 {
     auto fit = fifo_.find(node);
-    if (fit == fifo_.end() || fit->second.empty())
+    if (fit == fifo_.end() || fit->second.size() == 0)
         return;
-    const std::uint64_t line = fit->second.front();
-    fit->second.erase(fit->second.begin());
+    LineFifo &queue = fit->second;
+    const std::uint64_t line = queue.items[queue.head++];
+    if (queue.head > queue.items.size() / 2 && queue.head >= 16) {
+        queue.items.erase(queue.items.begin(),
+                          queue.items.begin() +
+                              static_cast<std::ptrdiff_t>(queue.head));
+        queue.head = 0;
+    }
     auto mit = map_.find(line);
     if (mit != map_.end()) {
         std::erase(mit->second, node);
@@ -50,7 +56,7 @@ VariableToNodeMap::add(mem::Addr addr, noc::NodeId node)
         auto &queue = fifo_[node];
         while (queue.size() >= capacity_)
             dropOldest(node);
-        queue.push_back(line);
+        queue.items.push_back(line);
     }
     nodes.push_back(node);
     mixHash(line);

@@ -82,12 +82,25 @@ class VariableToNodeMap
     void dropOldest(noc::NodeId node);
     void mixHash(std::uint64_t value);
 
+    /**
+     * FIFO with an advancing head instead of erase-from-front: popping
+     * the oldest line is O(1), and the dead prefix is compacted away
+     * only once it exceeds the live half.
+     */
+    struct LineFifo
+    {
+        std::vector<std::uint64_t> items;
+        std::size_t head = 0;
+
+        std::size_t size() const { return items.size() - head; }
+    };
+
     std::size_t capacity_;
     std::uint64_t hash_ = 0xcbf29ce484222325ull; // FNV offset basis
     std::int64_t inserts_ = 0;
     std::unordered_map<std::uint64_t, std::vector<noc::NodeId>> map_;
     /** Per-node FIFO of the lines recorded for it (oldest first). */
-    std::unordered_map<noc::NodeId, std::vector<std::uint64_t>> fifo_;
+    std::unordered_map<noc::NodeId, LineFifo> fifo_;
     static const std::vector<noc::NodeId> kEmpty;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <list>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -45,10 +47,18 @@ Partitioner::plan(const ir::LoopNest &nest,
     bool have_best = false;
     std::vector<std::int64_t> movement_per_w;
 
+    // Split-plan signatures embed statement indices, which are only
+    // meaningful within one nest — but they are stable across the
+    // window-size candidates below, so the cache warms on w=1 and
+    // every later candidate replays mostly memoized plans.
+    splitCache_.clear();
+
+    CompileStats compile_total;
     for (std::int32_t w : candidates) {
         PartitionReport rep;
         sim::ExecutionPlan p = planWithWindow(nest, default_nodes, w, rep);
         movement_per_w.push_back(rep.plannedMovement);
+        compile_total.merge(rep.compile);
         if (!have_best || rep.plannedMovement < best_movement) {
             have_best = true;
             best_movement = rep.plannedMovement;
@@ -58,6 +68,9 @@ Partitioner::plan(const ir::LoopNest &nest,
     }
 
     best_report.movementPerWindowSize = std::move(movement_per_w);
+    // The compile cost covers the whole adaptive sweep: the planner
+    // paid for every candidate, not just the winning window size.
+    best_report.compile = compile_total;
     report_ = best_report;
     return best_plan;
 }
@@ -115,7 +128,7 @@ class DefaultL1Model
     {
         const auto it = perNode_.find(node);
         return it != perNode_.end() &&
-               it->second.present.count(line) != 0;
+               it->second.entry.count(line) != 0;
     }
 
     /**
@@ -123,29 +136,36 @@ class DefaultL1Model
      * resident line refreshes it, so hot panel lines survive streams).
      * Only called for statements actually placed on their default
      * node: a split statement's operands land in the merge nodes' L1s
-     * instead, so they must not be credited here.
+     * instead, so they must not be credited here. O(1): the compile
+     * loop calls this iterations x statements x lines times, so a
+     * recency scan here dominates whole-plan time.
      */
     void
     insert(noc::NodeId node, std::uint64_t line)
     {
         auto &l1 = perNode_[node];
-        const auto it =
-            std::find(l1.lru.begin(), l1.lru.end(), line);
-        if (it != l1.lru.end())
-            l1.lru.erase(it);
+        const auto it = l1.entry.find(line);
+        if (it != l1.entry.end()) {
+            // Refresh: move to the recent end, residency unchanged.
+            l1.lru.splice(l1.lru.end(), l1.lru, it->second);
+            return;
+        }
         l1.lru.push_back(line);
-        l1.present.insert(line);
+        l1.entry.emplace(line, std::prev(l1.lru.end()));
         if (l1.lru.size() > capacity_) {
-            l1.present.erase(l1.lru.front());
-            l1.lru.erase(l1.lru.begin());
+            l1.entry.erase(l1.lru.front());
+            l1.lru.pop_front();
         }
     }
 
   private:
     struct NodeL1
     {
-        std::unordered_set<std::uint64_t> present;
-        std::vector<std::uint64_t> lru; // oldest first; small capacity
+        /** Resident lines -> position in the recency list. */
+        std::unordered_map<std::uint64_t,
+                           std::list<std::uint64_t>::iterator>
+            entry;
+        std::list<std::uint64_t> lru; // oldest first
     };
     std::size_t capacity_;
     std::unordered_map<noc::NodeId, NodeL1> perNode_;
@@ -164,6 +184,16 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
     const ir::ArrayTable &arrays = *arrays_;
 
     report.chosenWindowSize = window_size;
+
+    // Compile-loop accounting. Timer slots are null unless requested,
+    // and a null ScopedPhaseTimer never reads the clock.
+    CompileStats &cstats = report.compile;
+    const bool timed = options_.collectCompileTimers;
+    std::int64_t *const t_resolve = timed ? &cstats.resolveNs : nullptr;
+    std::int64_t *const t_locate = timed ? &cstats.locateNs : nullptr;
+    std::int64_t *const t_split = timed ? &cstats.splitNs : nullptr;
+    std::int64_t *const t_sync = timed ? &cstats.syncNs : nullptr;
+    ScopedPhaseTimer total_timer(timed ? &cstats.totalNs : nullptr);
 
     const std::int64_t line_flits = system_->config().lineFlits();
     LoadBalancer balancer(mesh.nodeCount(),
@@ -209,19 +239,57 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
     // pre-warm the default-L1 model with one full pass so baseline
     // costs are estimated against steady-state residency, not a cold
     // machine.
-    {
+    if (iterations > 0) {
+        // An iteration-invariant statement touches the same lines at
+        // every iteration: resolve it once up front instead of
+        // re-resolving per iteration just to recover line numbers.
+        // Varying statements reuse one resolved-ref buffer.
+        struct WarmStmt
+        {
+            const ir::Statement *stmt = nullptr;
+            bool invariant = false;
+            /** Read lines then the write line, resolved once. */
+            std::vector<std::uint64_t> lines;
+        };
+        std::vector<WarmStmt> warm_stmts;
+        warm_stmts.reserve(nest.body().size());
+        std::vector<ir::ResolvedRef> warm_reads;
+        {
+            ir::StatementInstance probe;
+            probe.iter = nest.iterationAt(0);
+            probe.iterationNumber = 0;
+            for (const ir::Statement &stmt : nest.body()) {
+                WarmStmt ws;
+                ws.stmt = &stmt;
+                ws.invariant = ir::refsIterationInvariant(stmt);
+                if (ws.invariant) {
+                    probe.stmt = &stmt;
+                    ir::resolveReadsInto(probe, arrays, warm_reads);
+                    ws.lines.reserve(warm_reads.size() + 1);
+                    for (const ir::ResolvedRef &r : warm_reads)
+                        ws.lines.push_back(mem::lineNumber(r.addr));
+                    ws.lines.push_back(mem::lineNumber(
+                        resolveWrite(probe, arrays).addr));
+                }
+                warm_stmts.push_back(std::move(ws));
+            }
+        }
         ir::StatementInstance warm;
         for (std::int64_t k = 0; k < iterations; ++k) {
             const noc::NodeId node =
                 default_nodes[static_cast<std::size_t>(k)];
             warm.iter = nest.iterationAt(k);
             warm.iterationNumber = k;
-            for (const ir::Statement &stmt : nest.body()) {
-                warm.stmt = &stmt;
-                for (const ir::ResolvedRef &r :
-                     resolveReads(warm, arrays)) {
-                    default_l1.insert(node, mem::lineNumber(r.addr));
+            for (const WarmStmt &ws : warm_stmts) {
+                if (ws.invariant) {
+                    for (std::uint64_t line : ws.lines)
+                        default_l1.insert(node, line);
+                    continue;
                 }
+                warm.stmt = ws.stmt;
+                ir::resolveReadsInto(warm, arrays, warm_reads);
+                for (const ir::ResolvedRef &r : warm_reads)
+                    default_l1.insert(node, mem::lineNumber(r.addr));
                 default_l1.insert(
                     node,
                     mem::lineNumber(resolveWrite(warm, arrays).addr));
@@ -229,6 +297,14 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
         }
     }
 
+
+    // Buffers reused across every instance of the stream: resolution,
+    // location, and emission run iterations x statements times, so
+    // per-instance allocations are pure overhead.
+    std::vector<ir::ResolvedRef> reads;
+    std::vector<Location> locations;
+    std::vector<std::uint64_t> fetched_lines;
+    std::vector<sim::TaskId> task_of_sub;
 
     std::int64_t stream_pos = 0;
     while (stream_pos < total_instances) {
@@ -255,9 +331,13 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
 
             const noc::NodeId default_node =
                 default_nodes[static_cast<std::size_t>(iter_num)];
-            const ir::ResolvedRef write = resolveWrite(inst, arrays);
-            const std::vector<ir::ResolvedRef> reads =
-                resolveReads(inst, arrays);
+            cstats.instancesPlanned += 1;
+            ir::ResolvedRef write;
+            {
+                ScopedPhaseTimer t(t_resolve);
+                write = resolveWrite(inst, arrays);
+                ir::resolveReadsInto(inst, arrays, reads);
+            }
 
             bool analyzable = write.analyzable;
             for (const ir::ResolvedRef &r : reads)
@@ -275,7 +355,7 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
             // travels to its store (home) node.
             const noc::NodeId store_node = amap.homeBankNode(write.addr);
             std::int64_t default_movement = 0;
-            std::vector<std::uint64_t> fetched_lines;
+            fetched_lines.clear();
             for (const ir::ResolvedRef &r : reads) {
                 const std::uint64_t line = mem::lineNumber(r.addr);
                 const bool seen =
@@ -372,24 +452,56 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
             }
 
             // ---- Locate operands (GetNode) and split along the MST.
-            std::vector<Location> locations;
-            locations.reserve(reads.size());
+            locations.clear();
             static const VariableToNodeMap kNoReuse;
             const VariableToNodeMap &lookup =
                 options_.exploitReuse ? varmap : kNoReuse;
-            for (const ir::ResolvedRef &r : reads)
-                locations.push_back(
-                    locator.locate(r.addr, lookup, store_node));
+            {
+                ScopedPhaseTimer t(t_locate);
+                for (const ir::ResolvedRef &r : reads)
+                    locations.push_back(
+                        locator.locate(r.addr, lookup, store_node));
+            }
             // Guard reads (duplicated conditionals, Section 4.5) locate
             // like RHS reads; buildVarSets covers RHS leaves only, so
             // guard operands are fetched by the root subcomputation.
             const ir::VarSet &sets =
                 static_sets[static_cast<std::size_t>(stmt_idx)];
 
-            LoadBalancer trial = balancer;
-            SplitResult split = splitter.split(
-                sets, locations, store_node,
-                options_.loadBalance ? &trial : nullptr);
+            // Without a balancer the split is a pure function of
+            // (sets, locations, store_node): memoize it by signature.
+            // The balancer mutates per-call trial state, so
+            // load-balanced splits always recompute (and skip the
+            // O(nodes) trial copy entirely when balancing is off).
+            cstats.splitsRequested += 1;
+            std::optional<LoadBalancer> trial;
+            SplitResult computed;
+            const SplitResult *split = nullptr;
+            {
+                ScopedPhaseTimer t(t_split);
+                if (options_.loadBalance) {
+                    cstats.cacheBypassed += 1;
+                    trial = balancer;
+                    computed = splitter.split(sets, locations,
+                                              store_node, &*trial);
+                    split = &computed;
+                } else if (options_.memoizeSplits) {
+                    split = splitCache_.lookup(stmt_idx, store_node,
+                                               locations);
+                    if (split != nullptr) {
+                        cstats.plansMemoized += 1;
+                    } else {
+                        cstats.plansComputed += 1;
+                        split = &splitCache_.insert(splitter.split(
+                            sets, locations, store_node, nullptr));
+                    }
+                } else {
+                    cstats.plansComputed += 1;
+                    computed = splitter.split(sets, locations,
+                                              store_node, nullptr);
+                    split = &computed;
+                }
+            }
 
             // Profitability guard (compiler cost model): the stall
             // cycles the movement saving buys must outweigh the
@@ -397,29 +509,29 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
             const double benefit =
                 options_.latencyPerFlitHop *
                 static_cast<double>(default_movement -
-                                    split.plannedMovement);
+                                    split->plannedMovement);
             const double overhead =
                 options_.overheadSafetyFactor *
                 options_.profileUtilization *
-                (static_cast<double>(split.subs.size()) *
+                (static_cast<double>(split->subs.size()) *
                      static_cast<double>(
                          system_->config().perTaskOverheadCycles) +
-                 static_cast<double>(split.crossNodeEdges) *
+                 static_cast<double>(split->crossNodeEdges) *
                      static_cast<double>(
                          system_->config().syncOverheadCycles));
-            if (split.plannedMovement >= default_movement ||
+            if (split->plannedMovement >= default_movement ||
                 (options_.overheadSafetyFactor > 0.0 &&
                  benefit <= overhead)) {
                 emit_unsplit();
                 continue;
             }
-            balancer = std::move(trial); // commit the trial loads
+            if (trial)
+                balancer = std::move(*trial); // commit the trial loads
 
             // ---- Emit the subcomputation tasks (children first).
-            std::vector<sim::TaskId> task_of_sub(split.subs.size(),
-                                                 sim::kInvalidTask);
-            for (std::size_t s = 0; s < split.subs.size(); ++s) {
-                const Subcomputation &sub = split.subs[s];
+            task_of_sub.assign(split->subs.size(), sim::kInvalidTask);
+            for (std::size_t s = 0; s < split->subs.size(); ++s) {
+                const Subcomputation &sub = split->subs[s];
                 sim::Task task;
                 task.id = static_cast<sim::TaskId>(plan.tasks.size());
                 task.node = sub.node;
@@ -462,11 +574,11 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
                 plan.tasks.push_back(std::move(task));
             }
             const sim::TaskId root_task =
-                task_of_sub[static_cast<std::size_t>(split.root)];
+                task_of_sub[static_cast<std::size_t>(split->root)];
 
             // ---- Inter-statement dependences -> ordering arcs.
-            for (std::size_t s = 0; s < split.subs.size(); ++s) {
-                const Subcomputation &sub = split.subs[s];
+            for (std::size_t s = 0; s < split->subs.size(); ++s) {
+                const Subcomputation &sub = split->subs[s];
                 const sim::TaskId tid = task_of_sub[s];
                 for (int leaf : sub.leaves) {
                     const mem::Addr addr =
@@ -493,8 +605,8 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
 
             // ---- Record planned L1 copies for later statements.
             if (options_.exploitReuse) {
-                for (std::size_t s = 0; s < split.subs.size(); ++s) {
-                    const Subcomputation &sub = split.subs[s];
+                for (std::size_t s = 0; s < split->subs.size(); ++s) {
+                    const Subcomputation &sub = split->subs[s];
                     for (int leaf : sub.leaves) {
                         varmap.add(
                             reads[static_cast<std::size_t>(leaf)].addr,
@@ -504,12 +616,12 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
                 varmap.add(write.addr, store_node);
             }
 
-            istats.dataMovement = split.plannedMovement;
-            istats.degreeOfParallelism = split.degreeOfParallelism;
-            istats.rawSynchronizations = split.crossNodeEdges;
+            istats.dataMovement = split->plannedMovement;
+            istats.degreeOfParallelism = split->degreeOfParallelism;
+            istats.rawSynchronizations = split->crossNodeEdges;
             plan.instances.push_back(istats);
             report.statementsSplit += 1;
-            report.plannedMovement += split.plannedMovement;
+            report.plannedMovement += split->plannedMovement;
             report.defaultMovement += default_movement;
         }
 
@@ -518,6 +630,7 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
         // that a chain of other arcs already implies is dropped
         // (transitive-closure minimisation, Section 4.5).
         {
+            ScopedPhaseTimer t(t_sync);
             SyncGraph graph;
             const std::size_t n_tasks =
                 plan.tasks.size() - window_task_begin;

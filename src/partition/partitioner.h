@@ -16,7 +16,9 @@
 
 #include "ir/dependence.h"
 #include "ir/statement.h"
+#include "partition/compile_stats.h"
 #include "partition/data_locator.h"
+#include "partition/split_plan_cache.h"
 #include "sim/engine.h"
 #include "sim/manycore.h"
 #include "support/stats.h"
@@ -68,6 +70,21 @@ struct PartitionOptions
      * driver from the profiling run.
      */
     double profileUtilization = 0.5;
+    /**
+     * Memoize split plans by (statement, operand-location signature,
+     * store node): a hit replays the cached SplitResult instead of
+     * re-running Kruskal, with byte-identical plans either way. Splits
+     * under the load balancer always bypass the cache — the balancer
+     * mutates trial state, so equal signatures no longer imply equal
+     * results.
+     */
+    bool memoizeSplits = true;
+    /**
+     * Fill PartitionReport::compile's per-phase nanosecond timers. Off
+     * by default: the timers read a clock per phase per instance, and
+     * the counters alone are free.
+     */
+    bool collectCompileTimers = false;
 };
 
 /** Aggregates the planner produces for the paper's figures. */
@@ -101,6 +118,12 @@ struct PartitionReport
     std::uint64_t reuseMapHash = 0;
     /** Total variable2node entries recorded across all windows. */
     std::int64_t reuseCopiesPlanned = 0;
+    /**
+     * Compile-loop cost of producing this plan, summed over every
+     * window-size candidate the adaptive sweep probed (the planner
+     * paid for all of them, not just the winner).
+     */
+    CompileStats compile;
 };
 
 /** Produces the optimized ExecutionPlan for a loop nest. */
@@ -141,6 +164,13 @@ class Partitioner
     const ir::ArrayTable *arrays_;
     PartitionOptions options_;
     PartitionReport report_;
+    /**
+     * Split-plan cache shared by every window-size candidate of one
+     * plan() call (signatures are nest-relative, so plan() clears it).
+     * Mutable: planning is logically const but memoization is not,
+     * and a Partitioner is owned by a single thread.
+     */
+    mutable SplitPlanCache splitCache_;
 };
 
 } // namespace ndp::partition

@@ -1,0 +1,81 @@
+#include "partition/split_plan_cache.h"
+
+#include "support/error.h"
+
+namespace ndp::partition {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+fnvMix(std::uint64_t hash, std::uint32_t word)
+{
+    for (int b = 0; b < 4; ++b) {
+        hash ^= (word >> (8 * b)) & 0xff;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+} // namespace
+
+const SplitResult *
+SplitPlanCache::lookup(std::int32_t stmt_idx, noc::NodeId store_node,
+                       const std::vector<Location> &locations)
+{
+    scratchKey_.clear();
+    scratchKey_.push_back(static_cast<std::uint32_t>(stmt_idx));
+    scratchKey_.push_back(static_cast<std::uint32_t>(store_node));
+    for (const Location &loc : locations) {
+        // Node id and source packed into one word: the source does not
+        // influence the split (only the node does), but keeping it in
+        // the signature costs nothing and keys the cache exactly on
+        // what the locator produced.
+        scratchKey_.push_back(
+            (static_cast<std::uint32_t>(loc.node) << 2) |
+            static_cast<std::uint32_t>(loc.source));
+    }
+    std::uint64_t hash = kFnvOffset;
+    for (std::uint32_t word : scratchKey_)
+        hash = fnvMix(hash, word);
+    scratchHash_ = hash;
+
+    const auto it = buckets_.find(hash);
+    if (it != buckets_.end()) {
+        for (const Entry &entry : it->second) {
+            if (entry.key == scratchKey_) {
+                ++hits_;
+                missArmed_ = false;
+                return &entry.plan;
+            }
+        }
+    }
+    ++misses_;
+    missArmed_ = true;
+    return nullptr;
+}
+
+const SplitResult &
+SplitPlanCache::insert(SplitResult plan)
+{
+    NDP_CHECK(missArmed_, "insert() without a preceding missed lookup");
+    missArmed_ = false;
+    std::vector<Entry> &bucket = buckets_[scratchHash_];
+    bucket.push_back(Entry{scratchKey_, std::move(plan)});
+    ++entries_;
+    return bucket.back().plan;
+}
+
+void
+SplitPlanCache::clear()
+{
+    buckets_.clear();
+    entries_ = 0;
+    missArmed_ = false;
+    // hits_/misses_ survive: they are cumulative planning statistics,
+    // reported per plan() call by the Partitioner.
+}
+
+} // namespace ndp::partition

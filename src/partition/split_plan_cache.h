@@ -1,0 +1,90 @@
+#ifndef NDP_PARTITION_SPLIT_PLAN_CACHE_H
+#define NDP_PARTITION_SPLIT_PLAN_CACHE_H
+
+/**
+ * @file
+ * Split-plan memoization. A statement instance's SplitResult is a pure
+ * function of (statement's nested sets, operand locations, store node)
+ * when no load balancer is in play: the SNUCA bank mapping is a pure,
+ * periodic function of the address, so across the iterations of an
+ * affine nest the same (locations, store) tuple recurs constantly and
+ * most Kruskal runs recompute an identical plan. The cache interns each
+ * instance's operand-location tuple into a compact signature — node id
+ * and location source per operand, FNV-1a hashed — and replays the
+ * cached SplitResult on a hit.
+ *
+ * Correctness: the 64-bit hash only selects a bucket; every entry keeps
+ * its full encoded key and lookups compare it word for word, so a hash
+ * collision degrades to a miss (or a sibling entry), never to a wrong
+ * plan. Plans produced with a cache are byte-identical to plans
+ * produced without one — the invariant tests/split_cache_test pins.
+ *
+ * Load-balanced splits must bypass the cache entirely: the balancer
+ * mutates trial state per call, so equal signatures no longer imply
+ * equal results (see Partitioner).
+ *
+ * Not thread-safe; each Partitioner owns one and is itself used from a
+ * single thread (nest-level parallelism gives every nest its own
+ * Partitioner).
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "partition/data_locator.h"
+#include "partition/splitter.h"
+
+namespace ndp::partition {
+
+/** Memoizes SplitResults by (statement, operand locations, store). */
+class SplitPlanCache
+{
+  public:
+    /**
+     * Find the plan cached for this key, building the signature from
+     * @p locations (node + source per operand). On a miss the key is
+     * retained internally and nullptr is returned; the caller computes
+     * the plan and hands it to insert(), which files it under that
+     * retained key. The returned pointer is valid until the next
+     * insert() or clear() (an insert into the same hash bucket may
+     * relocate siblings).
+     */
+    const SplitResult *lookup(std::int32_t stmt_idx,
+                              noc::NodeId store_node,
+                              const std::vector<Location> &locations);
+
+    /**
+     * File @p plan under the key of the immediately preceding missed
+     * lookup() and return the cached copy. Calling insert() without a
+     * preceding miss is a bug.
+     */
+    const SplitResult &insert(SplitResult plan);
+
+    void clear();
+
+    std::int64_t hits() const { return hits_; }
+    std::int64_t misses() const { return misses_; }
+    std::size_t size() const { return entries_; }
+
+  private:
+    struct Entry
+    {
+        std::vector<std::uint32_t> key;
+        SplitResult plan;
+    };
+
+    /** Bucketed by signature hash; siblings disambiguate collisions. */
+    std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+    /** Key of the last lookup, reused as scratch to avoid allocation. */
+    std::vector<std::uint32_t> scratchKey_;
+    std::uint64_t scratchHash_ = 0;
+    bool missArmed_ = false;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+    std::size_t entries_ = 0;
+};
+
+} // namespace ndp::partition
+
+#endif // NDP_PARTITION_SPLIT_PLAN_CACHE_H

@@ -1,7 +1,6 @@
 #include "partition/splitter.h"
 
 #include <algorithm>
-#include <map>
 
 #include "support/disjoint_set.h"
 #include "support/error.h"
@@ -26,6 +25,9 @@ StatementSplitter::split(const ir::VarSet &sets,
     NDP_CHECK(store_node >= 0 && store_node < mesh_->nodeCount(),
               "bad store node " << store_node);
     SplitResult result;
+    // One merge point per located input in the worst case; reserving
+    // up front keeps the emit loop reallocation-free.
+    result.subs.reserve(leaf_locations.size() + 4);
     splitSet(sets, leaf_locations, store_node, /*outermost=*/true,
              balancer, result);
     NDP_CHECK(result.root >= 0, "split produced no root subcomputation");
@@ -80,15 +82,36 @@ StatementSplitter::splitSet(const ir::VarSet &set,
         noc::NodeId node = noc::kInvalidNode;
         std::vector<Item> items;
     };
-    std::map<noc::NodeId, std::size_t> vertex_of_node;
+    // The node -> vertex mapping is a flat array leased from a
+    // per-recursion-depth pool (mesh node count is known), so grouping
+    // is one indexed load instead of a std::map walk. The lease resets
+    // only the slots this level touched — one per vertex.
+    if (nodeSlotDepth_ == nodeSlotPool_.size())
+        nodeSlotPool_.emplace_back(
+            static_cast<std::size_t>(mesh_->nodeCount()), -1);
+    std::vector<std::int32_t> &slot_of_node =
+        nodeSlotPool_[nodeSlotDepth_++];
     std::vector<Vertex> vertices;
+    struct SlotLease
+    {
+        std::vector<std::int32_t> &slots;
+        std::vector<Vertex> &vertices;
+        std::size_t &depth;
+        ~SlotLease()
+        {
+            for (const Vertex &v : vertices)
+                slots[static_cast<std::size_t>(v.node)] = -1;
+            --depth;
+        }
+    } slot_lease{slot_of_node, vertices, nodeSlotDepth_};
     auto vertex_for = [&](noc::NodeId node) -> std::size_t {
-        const auto it = vertex_of_node.find(node);
-        if (it != vertex_of_node.end())
-            return it->second;
-        vertex_of_node.emplace(node, vertices.size());
-        vertices.push_back({node, {}});
-        return vertices.size() - 1;
+        std::int32_t &slot =
+            slot_of_node[static_cast<std::size_t>(node)];
+        if (slot < 0) {
+            slot = static_cast<std::int32_t>(vertices.size());
+            vertices.push_back({node, {}});
+        }
+        return static_cast<std::size_t>(slot);
     };
     for (Item &item : items)
         vertices[vertex_for(item.node)].items.push_back(item);
@@ -196,9 +219,13 @@ StatementSplitter::splitSet(const ir::VarSet &set,
     // parallelism at identical movement), then on node ids for
     // determinism — a refinement of the paper's random pick.
     const bool have_store_vertex =
-        outermost && vertex_of_node.count(store_node) != 0;
+        outermost &&
+        slot_of_node[static_cast<std::size_t>(store_node)] >= 0;
     const std::size_t store_vertex =
-        have_store_vertex ? vertex_of_node.at(store_node) : SIZE_MAX;
+        have_store_vertex
+            ? static_cast<std::size_t>(
+                  slot_of_node[static_cast<std::size_t>(store_node)])
+            : SIZE_MAX;
     std::sort(edges.begin(), edges.end(), [&](const Edge &x,
                                               const Edge &y) {
         if (x.weight != y.weight)
@@ -226,7 +253,8 @@ StatementSplitter::splitSet(const ir::VarSet &set,
     // ---- 5. Pick the tree root. ----
     std::size_t root_vertex = 0;
     if (outermost) {
-        root_vertex = vertex_of_node.at(store_node);
+        root_vertex = static_cast<std::size_t>(
+            slot_of_node[static_cast<std::size_t>(store_node)]);
     } else {
         std::int32_t best = mesh_->distance(vertices[0].node, store_node);
         for (std::size_t i = 1; i < vertices.size(); ++i) {

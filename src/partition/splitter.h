@@ -118,6 +118,14 @@ class StatementSplitter
     const noc::MeshTopology *mesh_;
     std::int64_t fetchWeight_;
     std::int64_t resultWeight_;
+    /**
+     * Reused node -> vertex-slot scratch arrays, one per active
+     * recursion depth of splitSet (sized to the mesh's node count,
+     * -1 = node not seen at this level). Leasing from the pool keeps
+     * the per-call vertex grouping allocation-free after warm-up.
+     */
+    std::vector<std::vector<std::int32_t>> nodeSlotPool_;
+    std::size_t nodeSlotDepth_ = 0;
 };
 
 } // namespace ndp::partition

@@ -300,4 +300,53 @@ TEST(NocModelTest, RejectsNonPositiveCapacity)
     EXPECT_THROW(NocModel(mesh, params), FatalError);
 }
 
+// ------------------------------------------------------- distance LUT
+
+TEST(MeshTopologyTest, DistanceTableMatchesUncachedOnRandomMeshes)
+{
+    // distance() is a precomputed-table load on the locate/MST/traffic
+    // hot paths; distanceUncached() recomputes from coordinates. They
+    // must agree on every pair, for plain meshes and wrap-aware tori.
+    Rng rng(0xd157);
+    for (int trial = 0; trial < 24; ++trial) {
+        const auto cols = static_cast<std::int32_t>(2 + rng.nextBelow(7));
+        const auto rows = static_cast<std::int32_t>(2 + rng.nextBelow(7));
+        const bool torus = rng.nextBool(0.5);
+        MeshTopology mesh(cols, rows, torus);
+        const auto nodes = static_cast<std::uint64_t>(mesh.nodeCount());
+        for (int pair = 0; pair < 200; ++pair) {
+            const auto a = static_cast<NodeId>(rng.nextBelow(nodes));
+            const auto b = static_cast<NodeId>(rng.nextBelow(nodes));
+            ASSERT_EQ(mesh.distance(a, b), mesh.distanceUncached(a, b))
+                << cols << "x" << rows << (torus ? " torus" : " mesh")
+                << " nodes " << a << "," << b;
+            // On a plain mesh both must equal the coordinate-space
+            // Manhattan distance by definition.
+            if (!torus) {
+                ASSERT_EQ(mesh.distance(a, b),
+                          manhattanDistance(mesh.coordOf(a),
+                                            mesh.coordOf(b)))
+                    << cols << "x" << rows << " nodes " << a << "," << b;
+            }
+        }
+        // A torus can only ever shorten paths, and the wrap matters
+        // somewhere on every mesh with an extent > 2.
+        if (torus) {
+            MeshTopology flat(cols, rows, false);
+            bool shorter_somewhere = false;
+            for (NodeId a = 0; a < mesh.nodeCount(); ++a) {
+                for (NodeId b = 0; b < mesh.nodeCount(); ++b) {
+                    ASSERT_LE(mesh.distance(a, b), flat.distance(a, b));
+                    shorter_somewhere = shorter_somewhere ||
+                                        mesh.distance(a, b) <
+                                            flat.distance(a, b);
+                }
+            }
+            if (cols > 2 || rows > 2)
+                EXPECT_TRUE(shorter_somewhere)
+                    << cols << "x" << rows << " torus never wrapped";
+        }
+    }
+}
+
 } // namespace

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Split-plan memoization tests. The cache's contract is invisibility:
+ * a Partitioner with memoizeSplits on must produce byte-identical
+ * results to one with it off — same per-nest reuse-map digests, same
+ * Equation-1 movement, same app aggregates — for randomized multi-nest
+ * apps across reuse on/off, window sizes 1/4/16, and pool sizes 1 and
+ * 8 (load balancing off: balanced splits bypass the cache by design).
+ * Unit tests pin the counters: hits happen on a periodic nest, and
+ * never when the load balancer is on; plus direct SplitPlanCache
+ * key/collision/clear semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "ir/parser.h"
+#include "partition/split_plan_cache.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ndp;
+
+/**
+ * A random application, same shape as the nest-parallel property
+ * tests: 2..4 nests with overlapping operand draws so windows see
+ * real reuse and split signatures actually recur.
+ */
+workloads::Workload
+randomWorkload(int trial, Rng &rng)
+{
+    workloads::Workload w;
+    w.name = "cacheprop" + std::to_string(trial);
+    const int nest_count = 2 + static_cast<int>(rng.nextBelow(3));
+    int next_array = 0;
+    for (int n = 0; n < nest_count; ++n) {
+        std::vector<std::string> names;
+        std::string src;
+        const int array_count = 3 + static_cast<int>(rng.nextBelow(4));
+        for (int a = 0; a < array_count; ++a) {
+            names.push_back("A" + std::to_string(next_array++));
+            src += "array " + names.back() + "[64];\n";
+        }
+        const int stmts = 1 + static_cast<int>(rng.nextBelow(3));
+        src += "for i = 0..48 {\n";
+        for (int s = 0; s < stmts; ++s) {
+            const std::string &out =
+                names[static_cast<std::size_t>(s) % names.size()];
+            const int leaves = 2 + static_cast<int>(rng.nextBelow(4));
+            std::string rhs;
+            for (int l = 0; l < leaves; ++l) {
+                if (l > 0)
+                    rhs += rng.nextBool(0.5) ? " + " : " * ";
+                rhs += names[rng.nextBelow(names.size())] + "[i]";
+            }
+            src += "  S" + std::to_string(s + 1) + ": " + out +
+                   "[i] = " + rhs + ";\n";
+        }
+        src += "}";
+        w.nests.push_back(ir::parseKernel(
+            src, w.name + "/n" + std::to_string(n), w.arrays));
+    }
+    return w;
+}
+
+/** Every determinism-relevant field of two AppResults must agree. */
+void
+expectIdenticalResults(const driver::AppResult &a,
+                       const driver::AppResult &b,
+                       const std::string &label)
+{
+    ASSERT_EQ(a.nests.size(), b.nests.size()) << label;
+    for (std::size_t n = 0; n < a.nests.size(); ++n) {
+        const partition::PartitionReport &ar = a.nests[n].report;
+        const partition::PartitionReport &br = b.nests[n].report;
+        EXPECT_EQ(ar.reuseMapHash, br.reuseMapHash)
+            << label << " nest " << n;
+        EXPECT_EQ(ar.reuseCopiesPlanned, br.reuseCopiesPlanned)
+            << label << " nest " << n;
+        EXPECT_EQ(ar.chosenWindowSize, br.chosenWindowSize)
+            << label << " nest " << n;
+        EXPECT_EQ(ar.plannedMovement, br.plannedMovement)
+            << label << " nest " << n;
+        EXPECT_EQ(ar.defaultMovement, br.defaultMovement)
+            << label << " nest " << n;
+        EXPECT_EQ(ar.statementsSplit, br.statementsSplit)
+            << label << " nest " << n;
+        EXPECT_EQ(ar.statementsKeptDefault, br.statementsKeptDefault)
+            << label << " nest " << n;
+        EXPECT_EQ(ar.offloadedSubcomputations,
+                  br.offloadedSubcomputations)
+            << label << " nest " << n;
+        EXPECT_EQ(ar.movementPerWindowSize, br.movementPerWindowSize)
+            << label << " nest " << n;
+        EXPECT_EQ(a.nests[n].optimizedRun.makespanCycles,
+                  b.nests[n].optimizedRun.makespanCycles)
+            << label << " nest " << n;
+        // The cache must not disturb the locate path either: the miss
+        // predictor sees the same queries in the same order.
+        EXPECT_EQ(a.nests[n].predictorPredictions,
+                  b.nests[n].predictorPredictions)
+            << label << " nest " << n;
+        EXPECT_EQ(a.nests[n].predictorCorrect,
+                  b.nests[n].predictorCorrect)
+            << label << " nest " << n;
+    }
+    EXPECT_EQ(a.defaultMakespan, b.defaultMakespan) << label;
+    EXPECT_EQ(a.optimizedMakespan, b.optimizedMakespan) << label;
+    EXPECT_EQ(a.defaultEnergy, b.defaultEnergy) << label;
+    EXPECT_EQ(a.optimizedEnergy, b.optimizedEnergy) << label;
+    EXPECT_EQ(a.movementReductionPct.count(),
+              b.movementReductionPct.count())
+        << label;
+    EXPECT_EQ(a.movementReductionPct.sum(), b.movementReductionPct.sum())
+        << label;
+    EXPECT_EQ(a.degreeOfParallelism.sum(), b.degreeOfParallelism.sum())
+        << label;
+    EXPECT_EQ(a.syncsPerStatement.sum(), b.syncsPerStatement.sum())
+        << label;
+    EXPECT_EQ(a.predictorAccuracy, b.predictorAccuracy) << label;
+}
+
+TEST(SplitCacheEquivalenceTest, CacheOnMatchesCacheOffExactly)
+{
+    Rng rng(0xcac4e);
+    const std::int32_t window_sizes[] = {1, 4, 16};
+    int trial = 0;
+    for (const bool reuse : {true, false}) {
+        for (const std::int32_t w : window_sizes) {
+            const workloads::Workload app = randomWorkload(trial, rng);
+
+            driver::ExperimentConfig config;
+            config.partition.loadBalance = false;
+            config.partition.exploitReuse = reuse;
+            config.partition.fixedWindowSize = w;
+
+            driver::ExperimentConfig cached = config;
+            cached.partition.memoizeSplits = true;
+            driver::ExperimentConfig uncached = config;
+            uncached.partition.memoizeSplits = false;
+
+            const std::string label = "reuse=" +
+                                      std::to_string(reuse) +
+                                      " w=" + std::to_string(w);
+
+            // Serial (pool of 1 would still thread; use no pool) and
+            // an 8-thread pool on both modes: four runs, one result.
+            const driver::AppResult on_serial =
+                driver::ExperimentRunner(cached).runApp(app);
+            const driver::AppResult off_serial =
+                driver::ExperimentRunner(uncached).runApp(app);
+            expectIdenticalResults(on_serial, off_serial,
+                                   label + " serial");
+
+            support::ThreadPool pool(8);
+            const driver::AppResult on_pooled =
+                driver::ExperimentRunner(cached, &pool).runApp(app);
+            const driver::AppResult off_pooled =
+                driver::ExperimentRunner(uncached, &pool).runApp(app);
+            expectIdenticalResults(on_pooled, off_pooled,
+                                   label + " pooled");
+            expectIdenticalResults(on_serial, on_pooled,
+                                   label + " serial-vs-pooled");
+
+            // The cache-on runs actually exercised the cache.
+            EXPECT_GT(on_serial.compile.plansMemoized, 0) << label;
+            EXPECT_EQ(off_serial.compile.plansMemoized, 0) << label;
+            ++trial;
+        }
+    }
+}
+
+TEST(SplitCacheCounterTest, PeriodicNestHitsTheCache)
+{
+    workloads::WorkloadFactory factory(256);
+    const workloads::Workload app = factory.build("water");
+
+    driver::ExperimentConfig config;
+    config.partition.loadBalance = false;
+    const driver::AppResult r =
+        driver::ExperimentRunner(config).runApp(app);
+
+    // Affine accesses + periodic SNUCA banking: most instances replay.
+    EXPECT_GT(r.compile.plansMemoized, 0);
+    EXPECT_GT(r.compile.hitRate(), 0.5)
+        << "periodic nest should mostly hit ("
+        << r.compile.plansMemoized << " hits / "
+        << r.compile.plansComputed << " computes)";
+    EXPECT_EQ(r.compile.cacheBypassed, 0);
+    EXPECT_EQ(r.compile.splitsRequested,
+              r.compile.plansComputed + r.compile.plansMemoized);
+}
+
+TEST(SplitCacheCounterTest, LoadBalancedSplitsNeverUseTheCache)
+{
+    workloads::WorkloadFactory factory(256);
+    const workloads::Workload app = factory.build("water");
+
+    driver::ExperimentConfig config;
+    config.partition.loadBalance = true; // mutates trial state
+    const driver::AppResult r =
+        driver::ExperimentRunner(config).runApp(app);
+
+    EXPECT_EQ(r.compile.plansMemoized, 0);
+    EXPECT_EQ(r.compile.plansComputed, 0);
+    EXPECT_GT(r.compile.cacheBypassed, 0);
+    EXPECT_EQ(r.compile.splitsRequested, r.compile.cacheBypassed);
+}
+
+// ------------------------------------------------- SplitPlanCache unit
+
+partition::SplitResult
+markerPlan(std::int64_t movement)
+{
+    partition::SplitResult plan;
+    plan.plannedMovement = movement;
+    return plan;
+}
+
+TEST(SplitPlanCacheTest, KeyCoversStatementStoreAndLocations)
+{
+    partition::SplitPlanCache cache;
+    const std::vector<partition::Location> locs = {
+        {3, partition::LocationSource::L2Home},
+        {7, partition::LocationSource::MemCtrl},
+    };
+
+    EXPECT_EQ(cache.lookup(0, 5, locs), nullptr);
+    cache.insert(markerPlan(11));
+    ASSERT_NE(cache.lookup(0, 5, locs), nullptr);
+    EXPECT_EQ(cache.lookup(0, 5, locs)->plannedMovement, 11);
+
+    // Any key component changing must miss: statement index...
+    EXPECT_EQ(cache.lookup(1, 5, locs), nullptr);
+    cache.insert(markerPlan(22));
+    // ...store node...
+    EXPECT_EQ(cache.lookup(0, 6, locs), nullptr);
+    cache.insert(markerPlan(33));
+    // ...a location's node...
+    std::vector<partition::Location> moved = locs;
+    moved[0].node = 4;
+    EXPECT_EQ(cache.lookup(0, 5, moved), nullptr);
+    cache.insert(markerPlan(44));
+    // ...or a location's source, node unchanged (an L1 reuse copy
+    // splits differently than an L2-home fetch from the same node).
+    std::vector<partition::Location> resourced = locs;
+    resourced[0].source = partition::LocationSource::L1Copy;
+    EXPECT_EQ(cache.lookup(0, 5, resourced), nullptr);
+    cache.insert(markerPlan(55));
+
+    // All five entries coexist and resolve to their own plans.
+    EXPECT_EQ(cache.size(), 5u);
+    EXPECT_EQ(cache.lookup(0, 5, locs)->plannedMovement, 11);
+    EXPECT_EQ(cache.lookup(1, 5, locs)->plannedMovement, 22);
+    EXPECT_EQ(cache.lookup(0, 6, locs)->plannedMovement, 33);
+    EXPECT_EQ(cache.lookup(0, 5, moved)->plannedMovement, 44);
+    EXPECT_EQ(cache.lookup(0, 5, resourced)->plannedMovement, 55);
+}
+
+TEST(SplitPlanCacheTest, ClearDropsEntriesButKeepsCounters)
+{
+    partition::SplitPlanCache cache;
+    const std::vector<partition::Location> locs = {
+        {1, partition::LocationSource::L2Home}};
+
+    EXPECT_EQ(cache.lookup(0, 0, locs), nullptr);
+    cache.insert(markerPlan(1));
+    ASSERT_NE(cache.lookup(0, 0, locs), nullptr);
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.misses(), 1);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.lookup(0, 0, locs), nullptr);
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.misses(), 2);
+}
+
+} // namespace
