@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Graceful-degradation ablation: the paper evaluates a fully healthy
+ * SNUCA mesh; this harness asks how data-movement-aware partitioning
+ * degrades when the chip does. A driver::FaultCampaign Monte-Carlo
+ * sweeps node/link fault rates on a subset of the paper's apps —
+ * deterministic per-trial seeds, disconnected injections retried and
+ * counted — and reports execution-time slowdown, data-movement
+ * inflation, and L1 hit rates versus the healthy reference, for the
+ * baseline placement and the partitioned plan side by side.
+ *
+ * Everything on stdout (and BENCH_faults.json) is bit-identical for
+ * any NDP_BENCH_THREADS; timing goes to stderr as usual.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "bench_common.h"
+#include "driver/fault_campaign.h"
+
+namespace {
+
+/** Fixed-precision number formatting keeps the JSON byte-stable. */
+std::string
+num(double value)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(4) << value;
+    return oss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ndp;
+
+    std::string json_path = "BENCH_faults.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+    }
+
+    bench::banner("ablation_faults",
+                  "graceful degradation under injected faults");
+
+    driver::FaultCampaignConfig campaign_cfg;
+    campaign_cfg.nodeFaultRates = {0.02, 0.05, 0.10};
+    campaign_cfg.trialsPerRate = 3;
+    const driver::FaultCampaign campaign(campaign_cfg);
+
+    // The campaign multiplies every run by rates x trials, so sweep a
+    // representative app subset instead of all twelve.
+    std::vector<workloads::Workload> apps = bench::allApps();
+    if (apps.size() > 3)
+        apps.resize(3);
+
+    driver::SweepRunner runner(bench::benchThreads());
+
+    std::vector<driver::FaultCampaignResult> results;
+    double wall_total = 0.0;
+    for (const workloads::Workload &app : apps) {
+        results.push_back(campaign.run(app, runner));
+        wall_total += runner.stats().wallSeconds;
+        results.back().printReport(std::cout);
+        std::cout << "\n";
+    }
+
+    // ---- BENCH_faults.json: the degradation trajectory CI tracks.
+    std::ofstream json(json_path);
+    json << "{\n  \"scale\": " << bench::benchScale()
+         << ",\n  \"trials_per_rate\": " << campaign_cfg.trialsPerRate
+         << ",\n  \"apps\": [\n";
+    for (std::size_t a = 0; a < results.size(); ++a) {
+        const driver::FaultCampaignResult &res = results[a];
+        json << "    {\n      \"app\": \"" << res.app << "\",\n"
+             << "      \"healthy_exec_reduction_pct\": "
+             << num(res.healthy.execTimeReductionPct()) << ",\n"
+             << "      \"total_retries\": " << res.totalRetries
+             << ",\n      \"total_abandoned\": " << res.totalAbandoned
+             << ",\n      \"rates\": [\n";
+        for (std::size_t r = 0; r < res.rates.size(); ++r) {
+            const driver::FaultRateResult &rate = res.rates[r];
+            const double healthy_def =
+                static_cast<double>(res.healthy.defaultMakespan);
+            const double healthy_opt =
+                static_cast<double>(res.healthy.optimizedMakespan);
+            json << "        {\"node_fault_rate\": "
+                 << num(rate.nodeFaultRate)
+                 << ", \"completed\": " << rate.completedTrials()
+                 << ", \"retries\": " << rate.retries
+                 << ", \"abandoned\": " << rate.abandoned
+                 << ", \"default_slowdown_pct\": "
+                 << num(healthy_def <= 0.0
+                            ? 0.0
+                            : 100.0 *
+                                  (rate.meanDefaultMakespan -
+                                   healthy_def) /
+                                  healthy_def)
+                 << ", \"optimized_slowdown_pct\": "
+                 << num(healthy_opt <= 0.0
+                            ? 0.0
+                            : 100.0 *
+                                  (rate.meanOptimizedMakespan -
+                                   healthy_opt) /
+                                  healthy_opt)
+                 << ", \"exec_reduction_pct\": "
+                 << num(rate.meanExecReductionPct)
+                 << ", \"optimized_l1_hit_rate\": "
+                 << num(rate.meanOptimizedL1HitRate) << "}"
+                 << (r + 1 < res.rates.size() ? "," : "") << "\n";
+        }
+        json << "      ]\n    }"
+             << (a + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    json.close();
+
+    std::clog << "[faults] campaigns over " << apps.size()
+              << " apps took " << wall_total << " s; wrote "
+              << json_path << "\n";
+    return 0;
+}

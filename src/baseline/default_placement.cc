@@ -22,10 +22,15 @@ DefaultPlacement::assignIterations(const ir::LoopNest &nest)
     const mem::AddressMap &amap = system_->addressMap();
     const std::int64_t iterations = nest.iterationCount();
     const std::int64_t nodes = mesh.nodeCount();
+    // The OS scheduler of a degraded chip never dispatches work to
+    // disabled tiles: the baseline, too, profiles and assigns over the
+    // live pool only. Identical to the full pool on a healthy mesh.
+    const std::vector<noc::NodeId> &pool = mesh.liveNodes();
+    const auto pool_size = static_cast<std::int64_t>(pool.size());
 
     std::int64_t chunk = options_.chunkIterations;
     if (chunk <= 0)
-        chunk = std::max<std::int64_t>(1, iterations / nodes);
+        chunk = std::max<std::int64_t>(1, iterations / pool_size);
     const std::int64_t chunk_count = (iterations + chunk - 1) / chunk;
 
     // ---- Profile: locality cost of each chunk on each node. ----
@@ -52,27 +57,26 @@ DefaultPlacement::assignIterations(const ir::LoopNest &nest)
                 for (const ir::ResolvedRef &r :
                      resolveReads(inst, *arrays_)) {
                     const noc::NodeId home = amap.homeBankNode(r.addr);
-                    for (std::int64_t n = 0; n < nodes; ++n) {
+                    for (noc::NodeId n : pool) {
                         cost[static_cast<std::size_t>(c)]
                             [static_cast<std::size_t>(n)] +=
-                            mesh.distance(static_cast<noc::NodeId>(n),
-                                          home);
+                            mesh.distance(n, home);
                     }
                 }
                 const ir::ResolvedRef w = resolveWrite(inst, *arrays_);
                 const noc::NodeId home = amap.homeBankNode(w.addr);
-                for (std::int64_t n = 0; n < nodes; ++n) {
+                for (noc::NodeId n : pool) {
                     cost[static_cast<std::size_t>(c)]
-                        [static_cast<std::size_t>(n)] += mesh.distance(
-                            static_cast<noc::NodeId>(n), home);
+                        [static_cast<std::size_t>(n)] +=
+                        mesh.distance(n, home);
                 }
             }
         }
     }
 
     // ---- Greedy capacity-constrained assignment. ----
-    const std::int64_t capacity =
-        std::max<std::int64_t>(1, (chunk_count + nodes - 1) / nodes);
+    const std::int64_t capacity = std::max<std::int64_t>(
+        1, (chunk_count + pool_size - 1) / pool_size);
     std::vector<std::int64_t> assigned(static_cast<std::size_t>(nodes),
                                        0);
     std::vector<noc::NodeId> chunk_node(
@@ -80,14 +84,14 @@ DefaultPlacement::assignIterations(const ir::LoopNest &nest)
     for (std::int64_t c = 0; c < chunk_count; ++c) {
         noc::NodeId best = noc::kInvalidNode;
         std::int64_t best_cost = 0;
-        for (std::int64_t n = 0; n < nodes; ++n) {
+        for (noc::NodeId n : pool) {
             if (assigned[static_cast<std::size_t>(n)] >= capacity)
                 continue;
             const std::int64_t cn =
                 cost[static_cast<std::size_t>(c)]
                     [static_cast<std::size_t>(n)];
             if (best == noc::kInvalidNode || cn < best_cost) {
-                best = static_cast<noc::NodeId>(n);
+                best = n;
                 best_cost = cn;
             }
         }

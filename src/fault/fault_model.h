@@ -1,0 +1,154 @@
+#ifndef NDP_FAULT_FAULT_MODEL_H
+#define NDP_FAULT_FAULT_MODEL_H
+
+/**
+ * @file
+ * Deterministic fault injection for the SNUCA mesh. Real manycores
+ * ship with disabled cores, failed links, and remapped banks; a
+ * FaultModel describes one such degraded chip:
+ *
+ *  - dead nodes: core, L1, and L2 bank all unusable. The router of a
+ *    dead tile is assumed dead too, so no route may pass through it.
+ *  - degraded nodes: fully functional but computing slower by a
+ *    configurable factor (binning / DVFS-capped tiles).
+ *  - failed links: individual *unidirectional* physical links removed
+ *    from the topology (the reverse direction may survive).
+ *
+ * A model is either built explicitly (killNode/failLink/degradeNode)
+ * or injected pseudo-randomly from a FaultSpec via support/rng.h; the
+ * injection enumerates nodes and links in a fixed canonical order, so
+ * a (geometry, spec) pair always yields the same fault set on every
+ * platform and thread count.
+ *
+ * The four corner tiles host the memory controllers and are treated
+ * as hardened (off-mesh hard IP): random injection never selects
+ * them, and noc::MeshTopology rejects explicit fault sets that kill
+ * one with ndp::fatal.
+ *
+ * signature() digests the whole fault set; the empty model's
+ * signature is 0. Consumers (e.g. partition::SplitPlanCache) use it
+ * as a fault *epoch*: state keyed under one signature can never leak
+ * into a run under another, so a cached plan cannot resurrect a dead
+ * node.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "noc/coord.h"
+
+namespace ndp::fault {
+
+/** Parameters of one pseudo-random injection. */
+struct FaultSpec
+{
+    /** Probability that a (non-corner) node is faulted. */
+    double nodeFaultRate = 0.0;
+    /** Probability that a unidirectional link fails. */
+    double linkFaultRate = 0.0;
+    /**
+     * Fraction of faulted nodes that are merely degraded (slow)
+     * instead of dead.
+     */
+    double degradedFraction = 0.0;
+    /** Seed of the injection draws (support/rng.h). */
+    std::uint64_t seed = 0;
+};
+
+/** One degraded chip: dead/degraded nodes and failed links. */
+class FaultModel
+{
+  public:
+    /** The healthy chip: no faults, signature 0. */
+    FaultModel() = default;
+
+    /**
+     * Draw a fault set for a cols x rows mesh (torus adds the wrap
+     * links to the link enumeration). Deterministic: nodes are visited
+     * in id order, links in (node, +x/-x/+y/-y) order, and every
+     * stochastic choice flows through one seeded Rng. Corner nodes
+     * (the memory controllers) are never selected. The result is not
+     * guaranteed to leave the mesh connected — callers validate via
+     * noc::MeshTopology and re-draw with a fresh seed if not.
+     */
+    static FaultModel inject(std::int32_t cols, std::int32_t rows,
+                             bool torus, const FaultSpec &spec);
+
+    void killNode(noc::NodeId node);
+    void degradeNode(noc::NodeId node);
+    /** Fail the unidirectional link @p from -> @p to. */
+    void failLink(noc::NodeId from, noc::NodeId to);
+
+    bool empty() const
+    {
+        return dead_.empty() && degraded_.empty() && links_.empty();
+    }
+
+    bool isDead(noc::NodeId node) const
+    {
+        return deadSet_.count(node) != 0;
+    }
+
+    bool isDegraded(noc::NodeId node) const
+    {
+        return degradedSet_.count(node) != 0;
+    }
+
+    bool isLinkFailed(noc::NodeId from, noc::NodeId to) const
+    {
+        return linkSet_.count(linkKey(from, to)) != 0;
+    }
+
+    /** Dead node ids, ascending. */
+    const std::vector<noc::NodeId> &deadNodes() const { return dead_; }
+    /** Degraded node ids, ascending. */
+    const std::vector<noc::NodeId> &degradedNodes() const
+    {
+        return degraded_;
+    }
+    /** Failed (from, to) pairs, in insertion (canonical) order. */
+    const std::vector<std::pair<noc::NodeId, noc::NodeId>> &
+    failedLinks() const
+    {
+        return links_;
+    }
+
+    /** Compute-slowdown multiplier applied to degraded nodes. */
+    double degradeFactor() const { return degradeFactor_; }
+    void setDegradeFactor(double factor);
+
+    /**
+     * Order-independent FNV-1a digest of the fault set (the fault
+     * *epoch*). 0 for the empty model; two models with the same dead
+     * set, degraded set, failed links, and degrade factor share a
+     * signature.
+     */
+    std::uint64_t signature() const;
+
+    /** "3 dead, 1 degraded, 4 links failed" — for reports and errors. */
+    std::string describe() const;
+
+  private:
+    static std::uint64_t
+    linkKey(noc::NodeId from, noc::NodeId to)
+    {
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(from))
+                << 32) |
+               static_cast<std::uint32_t>(to);
+    }
+
+    std::vector<noc::NodeId> dead_;
+    std::vector<noc::NodeId> degraded_;
+    std::vector<std::pair<noc::NodeId, noc::NodeId>> links_;
+    std::unordered_set<noc::NodeId> deadSet_;
+    std::unordered_set<noc::NodeId> degradedSet_;
+    std::unordered_set<std::uint64_t> linkSet_;
+    double degradeFactor_ = 2.0;
+};
+
+} // namespace ndp::fault
+
+#endif // NDP_FAULT_FAULT_MODEL_H

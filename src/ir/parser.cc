@@ -128,12 +128,19 @@ class Lexer
                 tok_.text += src_[pos_];
                 bump();
             }
-            if (is_float) {
-                tok_.kind = TokKind::Float;
-                tok_.floatValue = std::stod(tok_.text);
-            } else {
-                tok_.kind = TokKind::Int;
-                tok_.intValue = std::stoll(tok_.text);
+            // stod/stoll throw std::out_of_range on huge literals;
+            // surface that as a located parse error, not a crash.
+            try {
+                if (is_float) {
+                    tok_.kind = TokKind::Float;
+                    tok_.floatValue = std::stod(tok_.text);
+                } else {
+                    tok_.kind = TokKind::Int;
+                    tok_.intValue = std::stoll(tok_.text);
+                }
+            } catch (const std::exception &) {
+                error("numeric literal '" + tok_.text +
+                      "' out of range");
             }
             return;
         }
@@ -177,8 +184,8 @@ class Parser
         parseLoop();
         if (lex_.peek().kind != TokKind::End)
             lex_.error("trailing input after loop nest");
-        NDP_REQUIRE(!statements_.empty(),
-                    "kernel '" << name_ << "' has no statements");
+        if (statements_.empty())
+            lex_.error("kernel '" + name_ + "' has no statements");
         return LoopNest(name_, std::move(loops_), std::move(statements_));
     }
 
@@ -282,9 +289,17 @@ class Parser
     {
         expectIdent("array");
         const std::string name = expectAnyIdent();
+        // Validate here, not in ArrayTable::create, so the diagnostic
+        // carries the source location like every other parse error.
+        if (arrays_.find(name) != kInvalidArray)
+            lex_.error("duplicate array '" + name + "'");
         std::vector<std::int64_t> extents;
         while (acceptSymbol("[")) {
             extents.push_back(parseSizeExpr());
+            if (extents.back() <= 0) {
+                lex_.error("array '" + name + "' has non-positive extent " +
+                           std::to_string(extents.back()));
+            }
             expectSymbol("]");
         }
         if (extents.empty())
@@ -293,8 +308,11 @@ class Parser
         if (lex_.peek().kind == TokKind::Ident && peekIs("bytes")) {
             // Optional: "array A[N] bytes 4;"
             lex_.next();
-            elem_size =
-                static_cast<std::uint32_t>(parseSizeExpr());
+            const std::int64_t bytes = parseSizeExpr();
+            if (bytes <= 0 || bytes > (1 << 20))
+                lex_.error("array '" + name + "' has bad element size " +
+                           std::to_string(bytes));
+            elem_size = static_cast<std::uint32_t>(bytes);
         }
         arrays_.create(name, std::move(extents), elem_size);
         expectSymbol(";");

@@ -83,12 +83,21 @@ noc::NodeId
 AddressMap::homeBankNode(Addr a) const
 {
     const std::uint64_t line = mixLine(lineNumber(a));
+    noc::NodeId home;
     if (clusterMode_ == ClusterMode::SNC4) {
         const auto &quad = quadrantNodes(pageQuadrant(a));
-        return quad[static_cast<std::size_t>(line % quad.size())];
+        home = quad[static_cast<std::size_t>(line % quad.size())];
+    } else {
+        home = static_cast<noc::NodeId>(
+            line % static_cast<std::uint64_t>(mesh_->nodeCount()));
     }
-    return static_cast<noc::NodeId>(
-        line % static_cast<std::uint64_t>(mesh_->nodeCount()));
+    // The interleave function is a property of the address bits and
+    // stays fixed under faults; a line whose natural bank sits on a
+    // dead node is served by that bank's re-home target instead. Both
+    // the compiler (DataLocator) and the simulator resolve homes
+    // through this one function, so they always agree on the live
+    // home. Identity (and free) on a healthy mesh.
+    return mesh_->rehomeOf(home);
 }
 
 DramCoord

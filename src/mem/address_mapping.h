@@ -64,7 +64,9 @@ class AddressMap
      * The node holding the home L2 bank of the line containing @p a.
      * In SNC-4 mode the bank is confined to the quadrant selected by the
      * page's quadrant bits; in the other modes lines interleave over all
-     * banks.
+     * banks. Under faults, banks of dead nodes are transparently
+     * re-homed to the mesh's nearest live node (rehomeOf), so the
+     * returned node is always live.
      */
     noc::NodeId homeBankNode(Addr a) const;
 

@@ -8,11 +8,21 @@
  * Memory controllers sit at the four corner nodes. Messages are routed
  * with deterministic dimension-ordered (XY) routing, which traverses
  * exactly ManhattanDistance links.
+ *
+ * The topology optionally carries a fault::FaultModel. With an empty
+ * model the behaviour is bit-identical to the healthy mesh (XY routes,
+ * Manhattan LUT). With faults, routing switches to shortest paths over
+ * the surviving directed graph (dead routers and failed links removed,
+ * BFS-rebuilt distance LUT, deterministic +x/-x/+y/-y next-hop
+ * tiebreak), construction fails fast with ndp::fatal when the live
+ * mesh is not strongly connected, and rehomeOf() maps each dead node's
+ * L2 bank to its nearest live node.
  */
 
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_model.h"
 #include "noc/coord.h"
 #include "support/error.h"
 
@@ -37,11 +47,11 @@ using QuadrantId = std::int32_t;
  * Rectangular 2D mesh (optionally a torus) with row-major node
  * numbering.
  *
- * The topology is immutable after construction. All routing here is
- * minimal XY routing: traverse the X dimension first, then Y; the hop
- * count therefore equals the (wrap-aware) Manhattan distance. The
- * torus option exercises the paper's claim that the approach works
- * with any on-chip topology (Section 2).
+ * The topology is immutable after construction. Without faults all
+ * routing is minimal XY routing: traverse the X dimension first, then
+ * Y; the hop count therefore equals the (wrap-aware) Manhattan
+ * distance. The torus option exercises the paper's claim that the
+ * approach works with any on-chip topology (Section 2).
  */
 class MeshTopology
 {
@@ -50,9 +60,13 @@ class MeshTopology
      * @param cols mesh width (N in the paper's M x N template)
      * @param rows mesh height
      * @param torus add wrap-around links in both dimensions
+     * @param faults dead/degraded nodes and failed links; the empty
+     *        model reproduces the healthy mesh exactly. Fatal if a
+     *        corner (memory-controller) node is dead or the surviving
+     *        mesh is not strongly connected.
      */
     MeshTopology(std::int32_t cols, std::int32_t rows,
-                 bool torus = false);
+                 bool torus = false, fault::FaultModel faults = {});
 
     bool isTorus() const { return torus_; }
 
@@ -69,25 +83,28 @@ class MeshTopology
     Coord coordOf(NodeId node) const;
 
     /**
-     * Manhattan (wrap-aware on a torus) distance between two nodes.
-     * Served from a precomputed O(N^2) table — distance() sits on the
-     * locate/MST/traffic hot paths, so it must be a single load.
+     * Hop distance between two nodes: Manhattan (wrap-aware on a
+     * torus) on the healthy mesh, shortest surviving path under
+     * faults. Served from a precomputed O(N^2) table — distance()
+     * sits on the locate/MST/traffic hot paths, so it must stay a
+     * single load in release builds (hence NDP_DCHECK).
      */
     std::int32_t
     distance(NodeId a, NodeId b) const
     {
-        NDP_CHECK(a >= 0 && a < nodeCount() && b >= 0 &&
-                      b < nodeCount(),
-                  "bad node pair " << a << ", " << b);
+        NDP_DCHECK(a >= 0 && a < nodeCount() && b >= 0 &&
+                       b < nodeCount(),
+                   "bad node pair " << a << ", " << b);
         return distanceTable_[static_cast<std::size_t>(a) *
                                   static_cast<std::size_t>(nodeCount()) +
                               static_cast<std::size_t>(b)];
     }
 
     /**
-     * The same distance computed from coordinates, bypassing the
-     * table. Kept as the independent reference the property tests
-     * cross-check the LUT against.
+     * The healthy-mesh Manhattan distance computed from coordinates,
+     * bypassing the table and ignoring faults. Kept as the independent
+     * reference: property tests cross-check the LUT against it, and
+     * under faults it lower-bounds the detoured distance.
      */
     std::int32_t distanceUncached(NodeId a, NodeId b) const;
 
@@ -98,12 +115,13 @@ class MeshTopology
     std::int32_t linkIndex(NodeId from, NodeId to) const;
 
     /**
-     * Minimal XY route from @p from to @p to as a sequence of dense link
-     * indices. Empty when from == to.
+     * Route from @p from to @p to as a sequence of dense link indices:
+     * minimal XY on the healthy mesh, shortest surviving path under
+     * faults. Empty when from == to.
      */
     std::vector<std::int32_t> route(NodeId from, NodeId to) const;
 
-    /** Nodes visited by the XY route, inclusive of both endpoints. */
+    /** Nodes visited by the route, inclusive of both endpoints. */
     std::vector<NodeId> routeNodes(NodeId from, NodeId to) const;
 
     /**
@@ -121,8 +139,54 @@ class MeshTopology
     /** The memory-controller node located in quadrant @p q. */
     NodeId memoryControllerOfQuadrant(QuadrantId q) const;
 
-    /** Nearest memory controller to @p node by Manhattan distance. */
+    /** Nearest memory controller to @p node by hop distance. */
     NodeId nearestMemoryController(NodeId node) const;
+
+    // ------------------------------------------------------------------
+    // Fault queries. All are trivially cheap; with an empty model they
+    // answer as if every node were live.
+
+    bool hasFaults() const { return !faults_.empty(); }
+    const fault::FaultModel &faults() const { return faults_; }
+
+    /** Is @p node's tile (core + caches + router) usable? */
+    bool
+    isLive(NodeId node) const
+    {
+        NDP_DCHECK(node >= 0 && node < nodeCount(),
+                   "bad node id " << node);
+        return live_.empty() ||
+               live_[static_cast<std::size_t>(node)] != 0;
+    }
+
+    /** Live node ids, ascending. Equals all nodes when fault-free. */
+    const std::vector<NodeId> &liveNodes() const { return liveNodes_; }
+
+    /**
+     * Where @p node's L2 bank content lives: @p node itself when live,
+     * else the nearest live node by healthy Manhattan distance with a
+     * deterministic lowest-id tiebreak. AddressMap applies this to
+     * every home-bank lookup so the compiler and the simulator agree
+     * on re-homed banks.
+     */
+    NodeId
+    rehomeOf(NodeId node) const
+    {
+        NDP_DCHECK(node >= 0 && node < nodeCount(),
+                   "bad node id " << node);
+        return rehome_.empty() ? node
+                               : rehome_[static_cast<std::size_t>(node)];
+    }
+
+    /**
+     * Cheap pre-check used by fault campaigns before paying for a full
+     * topology: would this fault set keep the mesh strongly connected
+     * (and all four corner memory controllers alive)? Constructing a
+     * MeshTopology with a model that fails this check is fatal.
+     */
+    static bool faultsLeaveMeshConnected(std::int32_t cols,
+                                         std::int32_t rows, bool torus,
+                                         const fault::FaultModel &faults);
 
   private:
     /** Signed minimal step (-1/0/+1) from @p from to @p to, modular
@@ -130,13 +194,26 @@ class MeshTopology
     std::int32_t stepToward(std::int32_t from, std::int32_t to,
                             std::int32_t extent) const;
 
+    /** Neighbour of @p node in direction @p dir (0=+x,1=-x,2=+y,3=-y),
+     *  kInvalidNode when off-mesh (non-torus edge). */
+    NodeId neighborIn(NodeId node, std::int32_t dir) const;
+
+    /** BFS distance LUT + liveness/rehome tables for the fault set. */
+    void buildFaultTables();
+
     std::int32_t cols_;
     std::int32_t rows_;
     bool torus_;
     std::int32_t linkCount_;
+    fault::FaultModel faults_;
     std::vector<NodeId> mcNodes_;
     /** distance(a, b) == distanceTable_[a * nodeCount() + b]. */
     std::vector<std::int32_t> distanceTable_;
+    /** Per-node liveness mask; empty when fault-free (all live). */
+    std::vector<std::uint8_t> live_;
+    std::vector<NodeId> liveNodes_;
+    /** Dead-bank re-home map; empty when fault-free (identity). */
+    std::vector<NodeId> rehome_;
 };
 
 } // namespace ndp::noc

@@ -8,10 +8,31 @@ namespace ndp::partition {
 
 LoadBalancer::LoadBalancer(std::int32_t node_count, double threshold)
     : load_(static_cast<std::size_t>(node_count), 0),
+      available_(static_cast<std::size_t>(node_count), 1),
       threshold_(threshold)
 {
     NDP_REQUIRE(node_count > 0, "balancer needs nodes");
     NDP_REQUIRE(threshold >= 0.0, "negative balance threshold");
+}
+
+void
+LoadBalancer::markUnavailable(noc::NodeId node)
+{
+    NDP_CHECK(node >= 0 &&
+                  static_cast<std::size_t>(node) < load_.size(),
+              "bad node " << node);
+    NDP_CHECK(load_[static_cast<std::size_t>(node)] == 0,
+              "node " << node << " already holds load");
+    available_[static_cast<std::size_t>(node)] = 0;
+}
+
+bool
+LoadBalancer::isAvailable(noc::NodeId node) const
+{
+    NDP_CHECK(node >= 0 &&
+                  static_cast<std::size_t>(node) < load_.size(),
+              "bad node " << node);
+    return available_[static_cast<std::size_t>(node)] != 0;
 }
 
 std::int64_t
@@ -31,6 +52,8 @@ LoadBalancer::accepts(noc::NodeId node, std::int64_t extra_cost) const
     NDP_CHECK(node >= 0 &&
                   static_cast<std::size_t>(node) < load_.size(),
               "bad node " << node);
+    if (!available_[static_cast<std::size_t>(node)])
+        return false;
     const std::int64_t mine =
         load_[static_cast<std::size_t>(node)] + extra_cost;
     const std::int64_t other_max = maxLoadExcluding(node);
@@ -49,6 +72,8 @@ LoadBalancer::add(noc::NodeId node, std::int64_t cost)
     NDP_CHECK(node >= 0 &&
                   static_cast<std::size_t>(node) < load_.size(),
               "bad node " << node);
+    NDP_CHECK(available_[static_cast<std::size_t>(node)],
+              "load committed to unavailable node " << node);
     load_[static_cast<std::size_t>(node)] += cost;
 }
 

@@ -28,9 +28,19 @@ class LoadBalancer
                           double threshold = 0.10);
 
     /**
+     * Remove @p node from the balancing pool (a dead tile under the
+     * fault model): accepts() vetoes it unconditionally and it no
+     * longer counts as a candidate ceiling for other nodes. Survives
+     * reset(); marking is one-way for the balancer's lifetime.
+     */
+    void markUnavailable(noc::NodeId node);
+
+    bool isAvailable(noc::NodeId node) const;
+
+    /**
      * Would adding @p extra_cost to @p node keep the load balanced?
      * Always true while every other node is still idle and this one
-     * holds no load yet.
+     * holds no load yet; always false for unavailable (dead) nodes.
      */
     bool accepts(noc::NodeId node, std::int64_t extra_cost) const;
 
@@ -50,6 +60,8 @@ class LoadBalancer
     std::int64_t maxLoadExcluding(noc::NodeId node) const;
 
     std::vector<std::int64_t> load_;
+    /** 1 = in the pool; 0 = marked unavailable (dead node). */
+    std::vector<std::uint8_t> available_;
     double threshold_;
 };
 

@@ -52,6 +52,7 @@ Partitioner::plan(const ir::LoopNest &nest,
     // window-size candidates below, so the cache warms on w=1 and
     // every later candidate replays mostly memoized plans.
     splitCache_.clear();
+    splitCache_.setEpoch(system_->mesh().faults().signature());
 
     CompileStats compile_total;
     for (std::int32_t w : candidates) {
@@ -198,6 +199,14 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
     const std::int64_t line_flits = system_->config().lineFlits();
     LoadBalancer balancer(mesh.nodeCount(),
                           options_.loadBalanceThreshold);
+    // Dead tiles leave the balancing pool; every other planner input
+    // is already live (default nodes come from the placement's live
+    // pool, store/operand homes from the re-homed AddressMap), so this
+    // closes the last path by which a split could land on a dead node.
+    if (mesh.hasFaults()) {
+        for (noc::NodeId dead : mesh.faults().deadNodes())
+            balancer.markUnavailable(dead);
+    }
     StatementSplitter splitter(mesh, line_flits, /*result_weight=*/1);
     DataLocator locator(*system_, options_.oracle);
     DefaultL1Model default_l1(

@@ -26,6 +26,10 @@ SplitPlanCache::lookup(std::int32_t stmt_idx, noc::NodeId store_node,
                        const std::vector<Location> &locations)
 {
     scratchKey_.clear();
+    // The fault epoch leads every key, so signatures from different
+    // fault sets can never compare equal even across a missed clear().
+    scratchKey_.push_back(static_cast<std::uint32_t>(epoch_));
+    scratchKey_.push_back(static_cast<std::uint32_t>(epoch_ >> 32));
     scratchKey_.push_back(static_cast<std::uint32_t>(stmt_idx));
     scratchKey_.push_back(static_cast<std::uint32_t>(store_node));
     for (const Location &loc : locations) {
@@ -66,6 +70,15 @@ SplitPlanCache::insert(SplitResult plan)
     bucket.push_back(Entry{scratchKey_, std::move(plan)});
     ++entries_;
     return bucket.back().plan;
+}
+
+void
+SplitPlanCache::setEpoch(std::uint64_t epoch)
+{
+    if (epoch == epoch_)
+        return;
+    epoch_ = epoch;
+    clear();
 }
 
 void

@@ -55,6 +55,18 @@ class SplitPlanCache
                               const std::vector<Location> &locations);
 
     /**
+     * Set the fault epoch (fault::FaultModel::signature(), 0 when
+     * healthy) mixed into every signature. Changing the epoch clears
+     * the cache: entries planned against one fault set must never
+     * replay under another — a cached plan could otherwise schedule a
+     * subcomputation on a node the new epoch declares dead. Belt and
+     * braces on top of the per-plan clear(), which the epoch survives.
+     */
+    void setEpoch(std::uint64_t epoch);
+
+    std::uint64_t epoch() const { return epoch_; }
+
+    /**
      * File @p plan under the key of the immediately preceding missed
      * lookup() and return the cached copy. Calling insert() without a
      * preceding miss is a bug.
@@ -80,6 +92,7 @@ class SplitPlanCache
     std::vector<std::uint32_t> scratchKey_;
     std::uint64_t scratchHash_ = 0;
     bool missArmed_ = false;
+    std::uint64_t epoch_ = 0;
     std::int64_t hits_ = 0;
     std::int64_t misses_ = 0;
     std::size_t entries_ = 0;

@@ -43,6 +43,9 @@ ExecutionEngine::run(const ExecutionPlan &plan, const EngineOptions &opts)
         const Task &task = plan.tasks[t];
         NDP_CHECK(task.node >= 0 && task.node < sys.mesh().nodeCount(),
                   "task " << task.id << " scheduled on bad node");
+        NDP_CHECK(sys.mesh().isLive(task.node),
+                  "task " << task.id << " scheduled on dead node "
+                          << task.node);
         auto &recs = records[t];
         recs.reserve(task.reads.size() + 1);
         for (const MemAccess &read : task.reads) {
@@ -152,6 +155,14 @@ ExecutionEngine::run(const ExecutionPlan &plan, const EngineOptions &opts)
 
         std::int64_t compute =
             task.computeCost * cfg.computeCyclesPerOpUnit;
+        // A degraded (binned / DVFS-capped) tile computes slower by
+        // the model's factor; its caches and links run at full speed.
+        if (sys.mesh().hasFaults() &&
+            sys.mesh().faults().isDegraded(task.node)) {
+            compute = static_cast<std::int64_t>(
+                std::llround(static_cast<double>(compute) *
+                             sys.mesh().faults().degradeFactor()));
+        }
         if (opts.parallelismSpeedup > 1.0) {
             compute = static_cast<std::int64_t>(
                 std::llround(static_cast<double>(compute) /

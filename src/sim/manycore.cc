@@ -8,7 +8,8 @@ namespace ndp::sim {
 
 ManycoreSystem::ManycoreSystem(const ManycoreConfig &config)
     : config_(config),
-      mesh_(config.meshCols, config.meshRows, config.torus),
+      mesh_(config.meshCols, config.meshRows, config.torus,
+            config.faults),
       addrMap_(mesh_, config.clusterMode),
       traffic_(mesh_),
       noc_(mesh_, config.noc)

@@ -67,6 +67,16 @@ struct ManycoreConfig
     noc::NocParams noc;
     mem::MemoryControllerParams mc;
 
+    /**
+     * Fault set of the modelled chip: dead/degraded nodes and failed
+     * links. The default (empty) model is the healthy machine and
+     * changes nothing. A non-empty model makes the mesh route around
+     * failures, re-homes dead L2 banks, and slows degraded cores by
+     * faults.degradeFactor(); construction is fatal if the surviving
+     * mesh is disconnected or a corner MC node is dead.
+     */
+    fault::FaultModel faults;
+
     std::int64_t
     lineFlits() const
     {

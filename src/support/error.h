@@ -61,6 +61,21 @@ panic(const std::string &msg)
         }                                                                  \
     } while (0)
 
+/**
+ * Debug-only invariant check for hot paths: compiles to nothing when
+ * NDEBUG is defined (Release/RelWithDebInfo), so a bounds check on a
+ * per-access function costs zero in optimized builds while the Debug
+ * and sanitizer CI jobs still exercise it. Keep NDP_CHECK everywhere
+ * off the hot path.
+ */
+#ifdef NDEBUG
+#define NDP_DCHECK(cond, msg)                                              \
+    do {                                                                   \
+    } while (0)
+#else
+#define NDP_DCHECK(cond, msg) NDP_CHECK(cond, msg)
+#endif
+
 /** User-input validation check. */
 #define NDP_REQUIRE(cond, msg)                                             \
     do {                                                                   \

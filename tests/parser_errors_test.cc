@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Parser robustness: every malformed kernel must be rejected with an
+ * ndp::FatalError carrying a "line N, col M" diagnostic — never a
+ * PanicError (those flag library bugs), never an unhandled standard
+ * exception, never a crash. The corpus covers lexer overflow, every
+ * declaration/loop/statement production, subscript and expression
+ * errors, and semantic checks (unknown arrays, arity, affinity).
+ */
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "ir/parser.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace ndp;
+
+/**
+ * Parse @p src expecting a located FatalError whose message contains
+ * @p expect_substr. Anything else — success, PanicError, an escaped
+ * std:: exception — fails the test.
+ */
+void
+expectParseError(const std::string &src,
+                 const std::string &expect_substr)
+{
+    ir::ArrayTable arrays;
+    try {
+        ir::parseKernel(src, "bad", arrays, {{"N", 16}});
+        ADD_FAILURE() << "kernel accepted: " << src;
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find(expect_substr), std::string::npos)
+            << "message '" << msg << "' lacks '" << expect_substr
+            << "' for kernel: " << src;
+        static const std::regex located("line [0-9]+, col [0-9]+");
+        EXPECT_TRUE(std::regex_search(msg, located))
+            << "message '" << msg
+            << "' lacks a line/col diagnostic for kernel: " << src;
+    } catch (const PanicError &e) {
+        ADD_FAILURE() << "PanicError (library bug) for kernel: " << src
+                      << " — " << e.what();
+    } catch (const std::exception &e) {
+        ADD_FAILURE() << "unexpected " << typeid(e).name()
+                      << " for kernel: " << src << " — " << e.what();
+    }
+}
+
+TEST(ParserErrorsTest, LexicalErrors)
+{
+    // 1. integer literal overflowing int64
+    expectParseError("array A[99999999999999999999999]; "
+                     "for i = 0..4 { A[i] = 1; }",
+                     "out of range");
+    // 2. overflowing literal in a subscript
+    expectParseError("array A[4]; for i = 0..4 "
+                     "{ A[123456789012345678901234567890] = 1; }",
+                     "out of range");
+    // 3. float literal overflowing double (~10^400)
+    expectParseError("array A[4]; for i = 0..4 { A[i] = " +
+                         std::string(400, '9') + ".5; }",
+                     "out of range");
+    // 4. empty input
+    expectParseError("", "expected 'for'");
+    // 5. free-standing garbage
+    expectParseError("%%%", "expected 'for'");
+}
+
+TEST(ParserErrorsTest, ArrayDeclarationErrors)
+{
+    // 6. missing array name
+    expectParseError("array ;", "expected identifier");
+    // 7. missing extents
+    expectParseError("array A; for i = 0..4 { A[i] = 1; }",
+                     "at least one extent");
+    // 8. empty extent brackets
+    expectParseError("array A[]; for i = 0..4 { A[i] = 1; }",
+                     "expected integer, parameter, or '('");
+    // 9. zero extent
+    expectParseError("array A[0]; for i = 0..4 { A[i] = 1; }",
+                     "non-positive extent");
+    // 10. negative computed extent
+    expectParseError("array A[4-8]; for i = 0..4 { A[i] = 1; }",
+                     "non-positive extent");
+    // 11. duplicate declaration
+    expectParseError("array A[4]; array A[8]; "
+                     "for i = 0..4 { A[i] = 1; }",
+                     "duplicate array 'A'");
+    // 12. unknown size parameter
+    expectParseError("array A[M]; for i = 0..4 { A[i] = 1; }",
+                     "unknown size parameter 'M'");
+    // 13. division by zero in a size expression
+    expectParseError("array A[4/0]; for i = 0..4 { A[i] = 1; }",
+                     "division by zero");
+    // 14. bad element size
+    expectParseError("array A[4] bytes 0-2; "
+                     "for i = 0..4 { A[i] = 1; }",
+                     "bad element size");
+    // 15. missing semicolon after the declaration
+    expectParseError("array A[4] for i = 0..4 { A[i] = 1; }",
+                     "expected ';'");
+    // 16. unclosed extent bracket
+    expectParseError("array A[4; for i = 0..4 { A[i] = 1; }",
+                     "expected ']'");
+}
+
+TEST(ParserErrorsTest, LoopHeaderErrors)
+{
+    // 17. missing loop variable
+    expectParseError("array A[4]; for = 0..4 { A[0] = 1; }",
+                     "expected identifier");
+    // 18. missing '='
+    expectParseError("array A[4]; for i 0..4 { A[i] = 1; }",
+                     "expected '='");
+    // 19. missing '..' range operator
+    expectParseError("array A[4]; for i = 0 4 { A[i] = 1; }",
+                     "expected '..'");
+    // 20. missing body brace
+    expectParseError("array A[4]; for i = 0..4 A[i] = 1;",
+                     "expected '{'");
+    // 21. empty iteration range
+    expectParseError("array A[4]; for i = 4..4 { A[i] = 1; }",
+                     "empty range");
+    // 22. zero step
+    expectParseError("array A[4]; for i = 0..4 step 0 { A[i] = 1; }",
+                     "empty range");
+    // 23. duplicate loop variable in a nest
+    expectParseError("array A[4]; for i = 0..4 { for i = 0..2 "
+                     "{ A[i] = 1; } }",
+                     "duplicate loop variable 'i'");
+    // 24. unclosed loop body
+    expectParseError("array A[4]; for i = 0..4 { A[i] = 1;",
+                     "expected statement");
+    // 25. body with no statements
+    expectParseError("array A[4]; for i = 0..4 { }",
+                     "has no statements");
+    // 26. trailing tokens after the nest
+    expectParseError("array A[4]; for i = 0..4 { A[i] = 1; } junk",
+                     "trailing input");
+}
+
+TEST(ParserErrorsTest, StatementAndReferenceErrors)
+{
+    // 27. unknown array on the left-hand side
+    expectParseError("for i = 0..4 { Z[i] = 1; }",
+                     "unknown array 'Z'");
+    // 28. unknown array on the right-hand side
+    expectParseError("array A[4]; for i = 0..4 { A[i] = Q[i]; }",
+                     "unknown array 'Q'");
+    // 29. too few subscripts
+    expectParseError("array A[4][4]; for i = 0..4 { A[i] = 1; }",
+                     "expects 2 subscripts");
+    // 30. too many subscripts
+    expectParseError("array A[4]; for i = 0..4 { A[i][i] = 1; }",
+                     "expects 1 subscripts");
+    // 31. missing '=' in a statement
+    expectParseError("array A[4]; for i = 0..4 { A[i] 1; }",
+                     "expected '='");
+    // 32. missing statement semicolon
+    expectParseError("array A[4]; for i = 0..4 { A[i] = 1 }",
+                     "expected ';'");
+    // 33. label with no statement behind it
+    expectParseError("array A[4]; for i = 0..4 { S1: ; }",
+                     "expected identifier");
+    // 34. guard referencing an unknown array
+    expectParseError("array A[4]; for i = 0..4 "
+                     "{ if (Q[i]) A[i] = 1; }",
+                     "unknown array 'Q'");
+}
+
+TEST(ParserErrorsTest, SubscriptAndExpressionErrors)
+{
+    // 35. non-affine subscript (loop var * loop var)
+    expectParseError("array A[16]; for i = 0..4 { for j = 0..4 "
+                     "{ A[i*j] = 1; } }",
+                     "non-affine subscript");
+    // 36. unknown name in a subscript
+    expectParseError("array A[4]; for i = 0..4 { A[k] = 1; }",
+                     "unknown name 'k'");
+    // 37. unary minus is not part of the subscript grammar
+    expectParseError("array A[4]; for i = 0..4 { A[-i] = 1; }",
+                     "unknown name '-'");
+    // 38. empty right-hand side
+    expectParseError("array A[4]; for i = 0..4 { A[i] = ; }",
+                     "expected expression");
+    // 39. unbalanced parenthesis on the right-hand side
+    expectParseError("array A[4]; for i = 0..4 { A[i] = (1 + 2; }",
+                     "expected ')'");
+    // 40. min() missing its comma
+    expectParseError("array A[4]; for i = 0..4 { A[i] = min(1 2); }",
+                     "expected ','");
+    // 41. unclosed subscript on a right-hand-side reference
+    expectParseError("array A[4]; array B[4]; for i = 0..4 "
+                     "{ A[i] = B[i; }",
+                     "expected ']'");
+    // 42. operator with a missing operand
+    expectParseError("array A[4]; for i = 0..4 { A[i] = 1 + ; }",
+                     "expected expression");
+}
+
+TEST(ParserErrorsTest, DiagnosticsPointAtTheOffendingToken)
+{
+    // The location must identify the actual offender, not just 1:1.
+    ir::ArrayTable arrays;
+    try {
+        ir::parseKernel("array A[4];\nfor i = 0..4 {\n  A[i] = 1 }\n",
+                        "bad", arrays);
+        ADD_FAILURE() << "kernel accepted";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        // The '}' that should have been ';' sits at line 3, col 12.
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("near '}'"), std::string::npos) << msg;
+    }
+}
+
+} // namespace

@@ -135,6 +135,60 @@ TEST(ThreadPoolTest, NestedSubmissionWithHelpingWaitCompletes)
     }
 }
 
+TEST(ThreadPoolTest, WaitHelpingSurvivesThrowingTasks)
+{
+    // A task that throws while executed *by the helping waiter* must
+    // not unwind through waitHelping (packaged_task captures the
+    // exception into the future), must not deadlock the waiter, and
+    // must not lose any task queued behind it.
+    for (std::size_t threads : {1u, 4u}) {
+        support::ThreadPool pool(threads);
+        std::atomic<int> survivors{0};
+        auto outer = pool.submit([&pool, &survivors]() {
+            auto bad = pool.submit([]() -> int {
+                throw std::runtime_error("inner task failed");
+            });
+            std::vector<std::future<int>> rest;
+            for (int i = 0; i < 32; ++i)
+                rest.push_back(pool.submit([&survivors, i]() {
+                    survivors.fetch_add(1,
+                                        std::memory_order_relaxed);
+                    return i;
+                }));
+            pool.waitHelping(bad); // must return, not throw
+            int sum = 0;
+            for (std::future<int> &f : rest) {
+                pool.waitHelping(f);
+                sum += f.get();
+            }
+            EXPECT_THROW(bad.get(), std::runtime_error);
+            return sum;
+        });
+        pool.waitHelping(outer);
+        EXPECT_EQ(outer.get(), 496) << "threads=" << threads;
+        EXPECT_EQ(survivors.load(), 32) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPoolTest, ExceptionInsideHelpingTaskReachesCollector)
+{
+    // The nested rethrow path: an outer task helping-waits on a
+    // throwing inner task and propagates via inner.get(); the
+    // exception must surface from the *outer* future on the collector
+    // thread, and tasks queued behind the outer one must still run.
+    support::ThreadPool pool(1);
+    auto outer = pool.submit([&pool]() {
+        auto inner = pool.submit(
+            []() -> int { throw std::logic_error("boom"); });
+        pool.waitHelping(inner);
+        return inner.get(); // rethrows the inner exception
+    });
+    auto after = pool.submit([]() { return 5; });
+    pool.waitHelping(outer);
+    EXPECT_THROW(outer.get(), std::logic_error);
+    EXPECT_EQ(after.get(), 5); // queued task was not lost
+}
+
 TEST(ThreadPoolTest, TryRunOneReportsQueueState)
 {
     support::ThreadPool pool(1);
