@@ -14,9 +14,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ndp;
+    bench::parseBenchArgs(argc, argv);
     bench::banner("ablation_topology", "Section 2 topology template");
 
     driver::ExperimentConfig mesh_cfg;

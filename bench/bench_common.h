@@ -16,15 +16,20 @@
  */
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "driver/experiment.h"
 #include "driver/sweep.h"
+#include "support/error.h"
 #include "support/stats.h"
 #include "support/table.h"
+#include "verify/verify_level.h"
 #include "workloads/workload.h"
 
 namespace ndp::bench {
@@ -56,6 +61,51 @@ allApps()
     return factory.buildAll();
 }
 
+/** Process-wide --verify override; empty = follow NDP_VERIFY. */
+inline std::optional<verify::VerifyLevel> &
+verifyOverride()
+{
+    static std::optional<verify::VerifyLevel> override;
+    return override;
+}
+
+/**
+ * Parse the harness command line shared by every bench: `--verify`
+ * (full) or `--verify=off|cheap|full` forces the static-verification
+ * level of every config in the sweep, overriding NDP_VERIFY. Other
+ * arguments are left for the harness's own parser.
+ */
+inline void
+parseBenchArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--verify") == 0) {
+            verifyOverride() = verify::VerifyLevel::Full;
+        } else if (std::strncmp(arg, "--verify=", 9) == 0) {
+            verify::VerifyLevel level = verify::VerifyLevel::Off;
+            if (!verify::parseVerifyLevel(arg + 9, level))
+                ndp::fatal(std::string("unknown verify level '") +
+                           (arg + 9) + "' (off|cheap|full)");
+            verifyOverride() = level;
+        }
+    }
+}
+
+/**
+ * The effective verification level of a sweep: the --verify flag when
+ * given, else whatever the configs carry (NDP_VERIFY's default).
+ */
+inline std::vector<driver::ExperimentConfig>
+applyVerifyLevel(std::vector<driver::ExperimentConfig> configs)
+{
+    if (verifyOverride()) {
+        for (driver::ExperimentConfig &config : configs)
+            config.partition.verifyLevel = *verifyOverride();
+    }
+    return configs;
+}
+
 /** Everything one parallel (app x config) sweep produces. */
 struct SweepOutcome
 {
@@ -66,10 +116,67 @@ struct SweepOutcome
 };
 
 /**
+ * Write the machine-readable verifier report of @p sweep to the path
+ * named by NDP_VERIFY_JSON (no-op when unset or nothing was
+ * verified). One JSON object per app x config cell with its per-nest
+ * verify::Report::renderJson() inlined — CI uploads this as the
+ * full-verify artifact.
+ */
+inline void
+maybeWriteVerifyJson(const SweepOutcome &sweep)
+{
+    const char *path = std::getenv("NDP_VERIFY_JSON");
+    if (!path || sweep.stats.verify.plansVerified == 0)
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        std::clog << "[verify] cannot open NDP_VERIFY_JSON path '"
+                  << path << "'\n";
+        return;
+    }
+    const verify::ReportCounts &totals = sweep.stats.verify;
+    out << "{\n  \"scale\": " << benchScale()
+        << ",\n  \"plans_verified\": " << totals.plansVerified
+        << ",\n  \"errors\": " << totals.errors
+        << ",\n  \"warnings\": " << totals.warnings
+        << ",\n  \"notes\": " << totals.notes << ",\n  \"apps\": [";
+    bool first_app = true;
+    for (std::size_t a = 0; a < sweep.apps.size(); ++a) {
+        out << (first_app ? "" : ",") << "\n    {\"app\": \""
+            << sweep.apps[a].name << "\", \"configs\": [";
+        first_app = false;
+        for (std::size_t c = 0; c < sweep.grid[a].size(); ++c) {
+            const driver::AppResult &r = sweep.grid[a][c].result;
+            out << (c == 0 ? "" : ",") << "\n      {\"config\": " << c
+                << ", \"plans_verified\": " << r.verify.plansVerified
+                << ", \"errors\": " << r.verify.errors
+                << ", \"warnings\": " << r.verify.warnings
+                << ", \"notes\": " << r.verify.notes
+                << ", \"nests\": [";
+            bool first_nest = true;
+            for (const driver::NestResult &nest : r.nests) {
+                if (nest.verify.counts().plansVerified == 0 &&
+                    nest.verify.counts().total() == 0)
+                    continue;
+                out << (first_nest ? "" : ",") << "\n        "
+                    << nest.verify.renderJson();
+                first_nest = false;
+            }
+            out << "]}";
+        }
+        out << "\n    ]}";
+    }
+    out << "\n  ]\n}\n";
+    std::clog << "[verify] wrote JSON report to " << path << "\n";
+}
+
+/**
  * Run every app under every config on a SweepRunner (both parallelism
  * axes: cells across the pool, loop nests within each cell). The grid
  * layout — and thus any stdout table built from it — is independent
- * of the thread count; only the wallSeconds fields vary.
+ * of the thread count; only the wallSeconds fields vary. Honours the
+ * --verify flag (see parseBenchArgs) and, when NDP_VERIFY_JSON names
+ * a path, drops the machine-readable verifier report there.
  */
 inline SweepOutcome
 runSweep(const std::vector<driver::ExperimentConfig> &configs)
@@ -77,8 +184,9 @@ runSweep(const std::vector<driver::ExperimentConfig> &configs)
     SweepOutcome outcome;
     outcome.apps = allApps();
     driver::SweepRunner runner(benchThreads());
-    outcome.grid = runner.runGrid(outcome.apps, configs);
+    outcome.grid = runner.runGrid(outcome.apps, applyVerifyLevel(configs));
     outcome.stats = runner.stats();
+    maybeWriteVerifyJson(outcome);
     return outcome;
 }
 

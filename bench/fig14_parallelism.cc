@@ -13,9 +13,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ndp;
+    bench::parseBenchArgs(argc, argv);
     using driver::AppResult;
     bench::banner("fig14_parallelism", "Figure 14");
 

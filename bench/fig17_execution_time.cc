@@ -14,9 +14,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ndp;
+    bench::parseBenchArgs(argc, argv);
     using driver::AppResult;
     bench::banner("fig17_execution_time", "Figure 17");
 

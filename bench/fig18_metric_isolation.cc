@@ -16,18 +16,21 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ndp;
+    bench::parseBenchArgs(argc, argv);
     bench::banner("fig18_metric_isolation", "Figure 18");
 
     const std::vector<workloads::Workload> apps = bench::allApps();
+    const driver::ExperimentConfig config =
+        bench::applyVerifyLevel({driver::ExperimentConfig{}}).front();
     driver::SweepRunner sweeper(bench::benchThreads());
     const std::vector<driver::IsolationResult> isolations =
         sweeper.mapOrdered<driver::IsolationResult>(
             apps.size(),
-            [&apps](std::size_t i, support::ThreadPool &pool) {
-                driver::ExperimentRunner runner({}, &pool);
+            [&apps, &config](std::size_t i, support::ThreadPool &pool) {
+                driver::ExperimentRunner runner(config, &pool);
                 return runner.runMetricIsolation(apps[i]);
             });
 

@@ -12,9 +12,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ndp;
+    bench::parseBenchArgs(argc, argv);
     using driver::AppResult;
     bench::banner("fig21_window_l1", "Figure 21");
 

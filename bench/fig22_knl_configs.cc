@@ -21,9 +21,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ndp;
+    bench::parseBenchArgs(argc, argv);
     bench::banner("fig22_knl_configs", "Figure 22");
 
     struct Cluster

@@ -15,9 +15,10 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ndp;
+    bench::parseBenchArgs(argc, argv);
     using driver::AppResult;
     bench::banner("fig23_data_mapping", "Figure 23");
 

@@ -455,6 +455,8 @@ main(int argc, char **argv)
             json_only = true;
         else if (std::strncmp(argv[i], "--json=", 7) == 0)
             json_path = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--verify", 8) == 0)
+            ; // static verification runs inside the driver, not here
         else
             bench_args.push_back(argv[i]);
     }

@@ -14,9 +14,10 @@
 #include "ir/dependence.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ndp;
+    bench::parseBenchArgs(argc, argv);
     bench::banner("table1_analyzability", "Table 1");
 
     const std::vector<workloads::Workload> apps = bench::allApps();

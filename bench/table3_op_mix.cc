@@ -27,9 +27,10 @@ offloadedPct(const ndp::driver::AppResult &r, int category)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ndp;
+    bench::parseBenchArgs(argc, argv);
     using driver::AppResult;
     bench::banner("table3_op_mix", "Table 3");
 

@@ -7,6 +7,7 @@
 #include "ir/dependence.h"
 #include "support/error.h"
 #include "support/thread_pool.h"
+#include "verify/plan_verifier.h"
 
 namespace ndp::driver {
 
@@ -59,6 +60,25 @@ ExperimentRunner::runNest(const workloads::Workload &workload,
                                            popts);
         optimized_plan = partitioner.plan(nest, nodes);
         nr.report = partitioner.report();
+
+        // Static plan verification (DESIGN.md §9): check the emitted
+        // plan against an independent recomputation and fail fast on
+        // error-severity findings — a malformed plan must never reach
+        // the engine, let alone a results table.
+        if (popts.verifyLevel != verify::VerifyLevel::Off &&
+            nr.report.provenance) {
+            const verify::PlanVerifier verifier(system,
+                                                workload.arrays);
+            nr.verify = verifier.verify(nest, optimized_plan,
+                                        *nr.report.provenance);
+            nr.report.verifyCounts = nr.verify.counts();
+            nr.report.provenance.reset(); // keep NestResult lean
+            if (nr.verify.counts().errors > 0) {
+                ndp::panic("static plan verification failed for nest '" +
+                           nest.name() + "':\n" +
+                           nr.verify.renderTable());
+            }
+        }
     } else {
         optimized_plan = placement.buildPlan(nest, nodes);
     }
@@ -85,6 +105,9 @@ ExperimentRunner::runNest(const workloads::Workload &workload,
         kept.reuseCopiesPlanned = nr.report.reuseCopiesPlanned;
         // The compile cost was paid regardless of which plan shipped.
         kept.compile = nr.report.compile;
+        // So was the verification: the partitioner plan was proven
+        // clean even though profiling chose not to ship it.
+        kept.verifyCounts = nr.report.verifyCounts;
         for (const sim::InstanceStats &is : default_plan.instances) {
             kept.movementReductionPct.add(0.0);
             kept.degreeOfParallelism.add(1.0);
@@ -157,6 +180,7 @@ ExperimentRunner::runApp(const workloads::Workload &workload) const
         for (int c = 0; c < 3; ++c)
             result.offloadedOps[c] += nr.report.offloadedOps[c];
         result.compile.merge(nr.report.compile);
+        result.verify.merge(nr.report.verifyCounts);
 
         def_l1_hits += nr.defaultRun.l1.hits;
         def_l1_acc += nr.defaultRun.l1.accesses();

@@ -25,6 +25,7 @@
 #include "baseline/default_placement.h"
 #include "partition/partitioner.h"
 #include "sim/engine.h"
+#include "verify/diagnostic.h"
 #include "workloads/workload.h"
 
 namespace ndp::support {
@@ -68,6 +69,13 @@ struct NestResult
     sim::SimResult defaultRun;
     sim::SimResult optimizedRun;
     partition::PartitionReport report;
+    /**
+     * Static verification of the optimized plan (empty at verify
+     * level Off). runNest fails fast — ndp::panic with the rendered
+     * diagnostic table — on any error-severity finding, so a
+     * populated result implies no errors survived.
+     */
+    verify::Report verify;
     double analyzableFraction = 1.0;
     /** Miss-predictor totals of this nest's machine (Table 2). */
     std::int64_t predictorPredictions = 0;
@@ -109,6 +117,8 @@ struct AppResult
     std::int64_t offloadedOps[3] = {0, 0, 0};
     /** Compile-loop cost/caching counters, merged over all nests. */
     partition::CompileStats compile;
+    /** Plan-verification tallies, merged over all nests. */
+    verify::ReportCounts verify;
 
     double
     execTimeReductionPct() const

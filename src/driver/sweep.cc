@@ -30,6 +30,11 @@ SweepStats::printSummary(std::ostream &os) const
         os << "[sweep] split-plan cache: " << splitPlansMemoized
            << " memoized / " << splitPlansComputed << " computed ("
            << 100.0 * splitCacheHitRate() << "% hit rate)\n";
+    if (verify.plansVerified > 0)
+        os << "[sweep] plan verifier: " << verify.plansVerified
+           << " instances checked, " << verify.errors << " error(s), "
+           << verify.warnings << " warning(s), " << verify.notes
+           << " note(s) (set NDP_VERIFY=off|cheap|full)\n";
 }
 
 SweepRunner::SweepRunner(int threads, bool nest_parallel)
@@ -98,6 +103,7 @@ SweepRunner::runGrid(const std::vector<workloads::Workload> &apps,
                 grid[a].back().result.compile.plansComputed;
             stats_.splitPlansMemoized +=
                 grid[a].back().result.compile.plansMemoized;
+            stats_.verify.merge(grid[a].back().result.verify);
             ++stats_.cells;
         }
     }

@@ -60,6 +60,9 @@ struct SweepStats
     std::int64_t splitPlansComputed = 0;
     /** Split plans replayed from the per-nest cache. */
     std::int64_t splitPlansMemoized = 0;
+    /** Static plan-verification tallies, summed over all cells
+     *  (all-zero when NDP_VERIFY is off). */
+    verify::ReportCounts verify;
 
     /** Serial-equivalent time / wall time: the observed speedup. */
     double

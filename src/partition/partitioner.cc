@@ -186,6 +186,21 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
 
     report.chosenWindowSize = window_size;
 
+    // Planning provenance for the static verifier (DESIGN.md §9):
+    // recorded per window-size candidate; plan() keeps the winner's
+    // report, and with it the winner's provenance.
+    std::shared_ptr<verify::PlanProvenance> prov;
+    if (options_.verifyLevel != verify::VerifyLevel::Off) {
+        prov = std::make_shared<verify::PlanProvenance>();
+        prov->level = options_.verifyLevel;
+        prov->windowSize = window_size;
+        prov->faultEpoch = system_->mesh().faults().signature();
+        prov->exploitReuse = options_.exploitReuse;
+        prov->loadBalanced = options_.loadBalance;
+        prov->loadBalanceThreshold = options_.loadBalanceThreshold;
+        prov->oracle = options_.oracle;
+    }
+
     // Compile-loop accounting. Timer slots are null unless requested,
     // and a null ScopedPhaseTimer never reads the clock.
     CompileStats &cstats = report.compile;
@@ -231,6 +246,8 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
         reuse_capacity = static_cast<std::size_t>(
             system_->config().l1Bytes / mem::kLineSize / 4);
     }
+    if (prov)
+        prov->reuseCapacityLines = reuse_capacity;
 
     sim::ExecutionPlan plan;
     plan.name = nest.name();
@@ -453,6 +470,23 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
                 report.statementsKeptDefault += 1;
                 report.plannedMovement += istats.dataMovement;
                 report.defaultMovement += default_movement;
+
+                if (prov) {
+                    verify::SplitRecord r;
+                    r.statementIndex = stmt_idx;
+                    r.iterationNumber = iter_num;
+                    r.wasSplit = false;
+                    r.defaultNode = default_node;
+                    r.storeNode = store_node;
+                    r.claimedMovement = default_movement;
+                    r.defaultMovement = default_movement;
+                    r.firstTask = static_cast<sim::TaskId>(
+                                      plan.tasks.size()) -
+                                  1;
+                    r.taskCount = 1;
+                    r.rootTask = r.firstTask;
+                    prov->instances.push_back(std::move(r));
+                }
             };
 
             if (!can_split) {
@@ -486,6 +520,7 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
             std::optional<LoadBalancer> trial;
             SplitResult computed;
             const SplitResult *split = nullptr;
+            bool from_cache = false;
             {
                 ScopedPhaseTimer t(t_split);
                 if (options_.loadBalance) {
@@ -499,6 +534,7 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
                                                locations);
                     if (split != nullptr) {
                         cstats.plansMemoized += 1;
+                        from_cache = true;
                     } else {
                         cstats.plansComputed += 1;
                         split = &splitCache_.insert(splitter.split(
@@ -632,6 +668,25 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
             report.statementsSplit += 1;
             report.plannedMovement += split->plannedMovement;
             report.defaultMovement += default_movement;
+
+            if (prov) {
+                verify::SplitRecord r;
+                r.statementIndex = stmt_idx;
+                r.iterationNumber = iter_num;
+                r.wasSplit = true;
+                r.fromCache = from_cache;
+                r.defaultNode = default_node;
+                r.storeNode = store_node;
+                r.claimedMovement = split->plannedMovement;
+                r.defaultMovement = default_movement;
+                r.firstTask = task_of_sub.front();
+                r.taskCount =
+                    static_cast<std::int32_t>(split->subs.size());
+                r.rootTask = root_task;
+                r.locations = locations;
+                r.split = *split;
+                prov->instances.push_back(std::move(r));
+            }
         }
 
         // ---- Synchronisation minimisation over this window. ----
@@ -746,6 +801,8 @@ Partitioner::planWithWindow(const ir::LoopNest &nest,
 
         stream_pos = window_end;
     }
+
+    report.provenance = prov;
 
     // ---- Fill the report's per-instance accumulators. ----
     for (const sim::InstanceStats &istats : plan.instances) {

@@ -12,6 +12,7 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ir/dependence.h"
@@ -22,6 +23,9 @@
 #include "sim/engine.h"
 #include "sim/manycore.h"
 #include "support/stats.h"
+#include "verify/diagnostic.h"
+#include "verify/provenance.h"
+#include "verify/verify_level.h"
 
 namespace ndp::partition {
 
@@ -85,6 +89,15 @@ struct PartitionOptions
      * the counters alone are free.
      */
     bool collectCompileTimers = false;
+    /**
+     * Static plan verification (DESIGN.md §9). At Cheap or Full the
+     * planner records per-instance provenance on its report and the
+     * driver runs verify::PlanVerifier over every emitted plan,
+     * failing fast on error-severity findings. Defaults to the
+     * NDP_VERIFY environment knob so whole harnesses and campaigns
+     * re-run under verification without per-call wiring.
+     */
+    verify::VerifyLevel verifyLevel = verify::verifyLevelFromEnv();
 };
 
 /** Aggregates the planner produces for the paper's figures. */
@@ -124,6 +137,14 @@ struct PartitionReport
      * paid for all of them, not just the winner).
      */
     CompileStats compile;
+    /**
+     * Per-instance planning provenance of the kept plan — the static
+     * verifier's input. Only recorded when verifyLevel != Off; the
+     * driver releases it once the plan has been verified.
+     */
+    std::shared_ptr<const verify::PlanProvenance> provenance;
+    /** Diagnostic tallies the driver fills after verification. */
+    verify::ReportCounts verifyCounts;
 };
 
 /** Produces the optimized ExecutionPlan for a loop nest. */

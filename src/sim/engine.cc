@@ -45,7 +45,11 @@ ExecutionEngine::run(const ExecutionPlan &plan, const EngineOptions &opts)
                   "task " << task.id << " scheduled on bad node");
         NDP_CHECK(sys.mesh().isLive(task.node),
                   "task " << task.id << " scheduled on dead node "
-                          << task.node);
+                          << task.node << " (fault epoch "
+                          << sys.mesh().faults().signature() << ": "
+                          << sys.mesh().faults().describe()
+                          << "); run with NDP_VERIFY=cheap to catch "
+                             "this at plan time (rule R5)");
         auto &recs = records[t];
         recs.reserve(task.reads.size() + 1);
         for (const MemAccess &read : task.reads) {

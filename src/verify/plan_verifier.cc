@@ -1,0 +1,943 @@
+#include "verify/plan_verifier.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/instance.h"
+#include "ir/nested_sets.h"
+#include "mem/address.h"
+#include "noc/mesh_topology.h"
+#include "partition/data_locator.h"
+#include "partition/load_balancer.h"
+#include "partition/splitter.h"
+#include "support/error.h"
+
+namespace ndp::verify {
+
+namespace {
+
+using partition::Location;
+using partition::LocationSource;
+using partition::SplitResult;
+using partition::Subcomputation;
+
+/** Union-find over mesh node ids (R1 spanning/cycle checks). */
+class NodeDsu
+{
+  public:
+    explicit NodeDsu(std::int32_t nodes)
+        : parent_(static_cast<std::size_t>(nodes))
+    {
+        for (std::size_t i = 0; i < parent_.size(); ++i)
+            parent_[i] = static_cast<std::int32_t>(i);
+    }
+
+    std::int32_t
+    find(std::int32_t x)
+    {
+        while (parent_[static_cast<std::size_t>(x)] != x) {
+            parent_[static_cast<std::size_t>(x)] =
+                parent_[static_cast<std::size_t>(
+                    parent_[static_cast<std::size_t>(x)])];
+            x = parent_[static_cast<std::size_t>(x)];
+        }
+        return x;
+    }
+
+    /** False when @p a and @p b were already connected (a cycle). */
+    bool
+    unite(std::int32_t a, std::int32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        parent_[static_cast<std::size_t>(a)] = b;
+        return true;
+    }
+
+  private:
+    std::vector<std::int32_t> parent_;
+};
+
+/**
+ * Is task @p from an ancestor of @p to in the dependence DAG? Backward
+ * BFS over deps, pruning ids below @p from (ids are topologically
+ * ordered: every dep precedes its consumer).
+ */
+bool
+orderedBefore(const sim::ExecutionPlan &plan, sim::TaskId from,
+              sim::TaskId to)
+{
+    if (from == to)
+        return true;
+    if (from > to)
+        return false;
+    std::vector<sim::TaskId> frontier = {to};
+    std::unordered_set<sim::TaskId> visited = {to};
+    while (!frontier.empty()) {
+        const sim::TaskId at = frontier.back();
+        frontier.pop_back();
+        for (sim::TaskId dep :
+             plan.tasks[static_cast<std::size_t>(at)].deps) {
+            if (dep == from)
+                return true;
+            if (dep < from || !visited.insert(dep).second)
+                continue;
+            frontier.push_back(dep);
+        }
+    }
+    return false;
+}
+
+/** Shared per-verification state threaded through the rule checks. */
+struct VerifyState
+{
+    Report report;
+    /** Per-address last storing task (RAW/WAW replay, Full only). */
+    std::unordered_map<mem::Addr, sim::TaskId> lastWriter;
+    /** Instance index of the last write per address (staleness). */
+    std::unordered_map<mem::Addr, std::int64_t> writeSeq;
+    /** Instance index each (line, node) L1 copy was recorded at. */
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<noc::NodeId, std::int64_t>>>
+        copySeq;
+    /** Replayed variable2node map of the current window. */
+    partition::VariableToNodeMap vmap;
+
+    explicit VerifyState(std::size_t reuse_capacity)
+        : vmap(reuse_capacity)
+    {
+    }
+
+    void
+    recordCopy(mem::Addr addr, noc::NodeId node, std::int64_t seq)
+    {
+        const std::uint64_t line = mem::lineNumber(addr);
+        const bool fresh = [&] {
+            for (noc::NodeId n : vmap.nodesFor(addr)) {
+                if (n == node)
+                    return false;
+            }
+            return true;
+        }();
+        vmap.add(addr, node);
+        if (!fresh)
+            return;
+        auto &copies = copySeq[line];
+        for (auto &entry : copies) {
+            if (entry.first == node) {
+                entry.second = seq;
+                return;
+            }
+        }
+        copies.emplace_back(node, seq);
+    }
+
+    std::int64_t
+    copyRecordedAt(mem::Addr addr, noc::NodeId node) const
+    {
+        const auto it = copySeq.find(mem::lineNumber(addr));
+        if (it == copySeq.end())
+            return -1;
+        for (const auto &entry : it->second) {
+            if (entry.first == node)
+                return entry.second;
+        }
+        return -1;
+    }
+
+    void
+    newWindow(std::size_t reuse_capacity)
+    {
+        vmap = partition::VariableToNodeMap(reuse_capacity);
+        copySeq.clear();
+        writeSeq.clear();
+    }
+};
+
+/** True when the recorded split matches the reference in structure
+ *  (everything a balancer slide cannot change). */
+bool
+sameStructure(const SplitResult &got, const SplitResult &ref)
+{
+    if (got.subs.size() != ref.subs.size() || got.root != ref.root ||
+        got.degreeOfParallelism != ref.degreeOfParallelism ||
+        got.edges.size() != ref.edges.size())
+        return false;
+    for (std::size_t s = 0; s < got.subs.size(); ++s) {
+        const Subcomputation &a = got.subs[s];
+        const Subcomputation &b = ref.subs[s];
+        if (a.leaves != b.leaves || a.children != b.children ||
+            a.ops != b.ops || a.opCost != b.opCost ||
+            a.isRoot != b.isRoot)
+            return false;
+    }
+    for (std::size_t e = 0; e < got.edges.size(); ++e) {
+        if (got.edges[e].a != ref.edges[e].a ||
+            got.edges[e].b != ref.edges[e].b ||
+            got.edges[e].weight != ref.edges[e].weight)
+            return false;
+    }
+    return true;
+}
+
+/** Exact equality, nodes and cost included (cache replay identity). */
+bool
+sameExact(const SplitResult &got, const SplitResult &ref)
+{
+    if (!sameStructure(got, ref) ||
+        got.plannedMovement != ref.plannedMovement ||
+        got.crossNodeEdges != ref.crossNodeEdges)
+        return false;
+    for (std::size_t s = 0; s < got.subs.size(); ++s) {
+        if (got.subs[s].node != ref.subs[s].node)
+            return false;
+    }
+    return true;
+}
+
+std::string
+describeInt(const char *what, std::int64_t got, std::int64_t want)
+{
+    std::ostringstream os;
+    os << what << " is " << got << ", expected " << want;
+    return os.str();
+}
+
+} // namespace
+
+PlanVerifier::PlanVerifier(const sim::ManycoreSystem &system,
+                           const ir::ArrayTable &arrays)
+    : system_(&system), arrays_(&arrays)
+{
+}
+
+Report
+PlanVerifier::verify(const ir::LoopNest &nest,
+                     const sim::ExecutionPlan &plan,
+                     const PlanProvenance &prov) const
+{
+    const noc::MeshTopology &mesh = system_->mesh();
+    const mem::AddressMap &amap = system_->addressMap();
+    const std::int64_t line_flits = system_->config().lineFlits();
+    const bool full = prov.level == VerifyLevel::Full;
+    const bool faulted = mesh.hasFaults();
+
+    VerifyState st(prov.reuseCapacityLines);
+    Report &rep = st.report;
+    rep.plan = plan.name;
+    rep.level = prov.level;
+    if (prov.level == VerifyLevel::Off)
+        return rep;
+
+    auto diag = [&](const char *rule, Severity sev,
+                    const SplitRecord *rec, sim::TaskId task,
+                    noc::NodeId node, std::string message) {
+        Diagnostic d;
+        d.rule = rule;
+        d.severity = sev;
+        if (rec != nullptr) {
+            d.statementIndex = rec->statementIndex;
+            d.iterationNumber = rec->iterationNumber;
+        }
+        d.task = task;
+        d.node = node;
+        d.message = std::move(message);
+        rep.add(std::move(d));
+    };
+    auto error = [&](const char *rule, const SplitRecord *rec,
+                     sim::TaskId task, noc::NodeId node,
+                     std::string message) {
+        diag(rule, Severity::Error, rec, task, node,
+             std::move(message));
+    };
+
+    // ---- Epoch gate (R5): distances, liveness, and re-homing below
+    // are all functions of the machine's fault signature; a mismatch
+    // means the plan was built for a different chip.
+    if (prov.faultEpoch != mesh.faults().signature()) {
+        std::ostringstream os;
+        os << "plan built under fault epoch " << prov.faultEpoch
+           << " but the machine's is " << mesh.faults().signature()
+           << " (" << mesh.faults().describe() << ")";
+        error("R5.epoch-mismatch", nullptr, sim::kInvalidTask,
+              noc::kInvalidNode, os.str());
+        return rep;
+    }
+
+    if (prov.instances.size() != plan.instances.size()) {
+        error("R3.coverage", nullptr, sim::kInvalidTask,
+              noc::kInvalidNode,
+              describeInt(
+                  "provenance instance count",
+                  static_cast<std::int64_t>(prov.instances.size()),
+                  static_cast<std::int64_t>(plan.instances.size())));
+        return rep;
+    }
+
+    // Nested variable sets are per static statement; the reference
+    // splitter re-splits from the same (sets, locations, store) inputs
+    // the planner used.
+    std::vector<ir::VarSet> static_sets;
+    static_sets.reserve(nest.body().size());
+    for (const ir::Statement &stmt : nest.body())
+        static_sets.push_back(ir::buildVarSets(stmt));
+    partition::StatementSplitter ref_splitter(mesh, line_flits,
+                                              /*result_weight=*/1);
+
+    // Under load balancing the split is a function of the balancer's
+    // evolving load vector too, so the reference recomputation replays
+    // that state stream: unsplit instances commit their default-node
+    // load, accepted splits run against (and commit) a trial copy —
+    // exactly the planner's sequence. This makes the reference split
+    // bit-comparable even for slid placements.
+    std::optional<partition::LoadBalancer> replay_balancer;
+    if (full && prov.loadBalanced) {
+        replay_balancer.emplace(mesh.nodeCount(),
+                                prov.loadBalanceThreshold);
+        if (mesh.hasFaults()) {
+            for (noc::NodeId dead : mesh.faults().deadNodes())
+                replay_balancer->markUnavailable(dead);
+        }
+    }
+
+    auto live = [&](noc::NodeId n) {
+        return n >= 0 && n < mesh.nodeCount() && mesh.isLive(n);
+    };
+
+    // Checks deps of one task: backward, duplicate-free, live
+    // producers (the sync-point endpoints of Section 4.5).
+    auto check_deps = [&](const SplitRecord &rec,
+                          const sim::Task &task) {
+        for (std::size_t i = 0; i < task.deps.size(); ++i) {
+            const sim::TaskId dep = task.deps[i];
+            if (dep < 0 || dep >= task.id) {
+                std::ostringstream os;
+                os << "dep " << dep << " does not precede task "
+                   << task.id;
+                error("R3.dep-order", &rec, task.id, task.node,
+                      os.str());
+                continue;
+            }
+            if (std::find(task.deps.begin(),
+                          task.deps.begin() +
+                              static_cast<std::ptrdiff_t>(i),
+                          dep) !=
+                task.deps.begin() + static_cast<std::ptrdiff_t>(i)) {
+                std::ostringstream os;
+                os << "dep " << dep << " listed twice on task "
+                   << task.id;
+                error("R3.dep-order", &rec, task.id, task.node,
+                      os.str());
+            }
+            const sim::Task &producer =
+                plan.tasks[static_cast<std::size_t>(dep)];
+            if (dep < task.id && !live(producer.node)) {
+                std::ostringstream os;
+                os << "sync from task " << dep << " on dead node "
+                   << producer.node << " (fault epoch "
+                   << mesh.faults().signature() << ")";
+                error("R5.sync-on-dead", &rec, task.id, producer.node,
+                      os.str());
+            }
+        }
+    };
+
+    // RAW/WAW legality of one access against the replayed writer map
+    // (Full). WAR is exempt: the planner bounds reader tracking, so
+    // anti-dependences are ordered by value arcs only.
+    auto check_raw = [&](const SplitRecord &rec, sim::TaskId reader,
+                         mem::Addr addr, bool stale_reuse) {
+        const auto it = st.lastWriter.find(addr);
+        if (it == st.lastWriter.end() || it->second == reader)
+            return;
+        if (!orderedBefore(plan, it->second, reader)) {
+            std::ostringstream os;
+            os << (stale_reuse ? "reuse of" : "read of") << " addr "
+               << addr << " by task " << reader
+               << " is unordered against writer task " << it->second;
+            error(stale_reuse ? "R4.stale-reuse"
+                              : "R3.conflict-unordered",
+                  &rec, reader,
+                  plan.tasks[static_cast<std::size_t>(reader)].node,
+                  os.str());
+        }
+    };
+    auto check_waw = [&](const SplitRecord &rec, sim::TaskId writer,
+                         mem::Addr addr) {
+        const auto it = st.lastWriter.find(addr);
+        if (it == st.lastWriter.end() || it->second == writer)
+            return;
+        if (!orderedBefore(plan, it->second, writer)) {
+            std::ostringstream os;
+            os << "write of addr " << addr << " by task " << writer
+               << " is unordered against writer task " << it->second;
+            error("R3.conflict-unordered", &rec, writer,
+                  plan.tasks[static_cast<std::size_t>(writer)].node,
+                  os.str());
+        }
+    };
+
+    std::vector<ir::ResolvedRef> reads;
+    sim::TaskId expect_next = 0;
+    bool tiling_broken = false;
+
+    for (std::size_t i = 0; i < prov.instances.size(); ++i) {
+        const SplitRecord &rec = prov.instances[i];
+        if (full && prov.windowSize > 0 &&
+            static_cast<std::int64_t>(i) %
+                    static_cast<std::int64_t>(prov.windowSize) ==
+                0)
+            st.newWindow(prov.reuseCapacityLines);
+        rep.counts().plansVerified += 1;
+
+        // ---- Task-range tiling: records must cover the plan's tasks
+        // contiguously and in stream order.
+        if (rec.firstTask != expect_next || rec.taskCount <= 0 ||
+            static_cast<std::size_t>(rec.firstTask) +
+                    static_cast<std::size_t>(rec.taskCount) >
+                plan.tasks.size()) {
+            std::ostringstream os;
+            os << "instance task range [" << rec.firstTask << ", +"
+               << rec.taskCount << ") does not tile the plan at task "
+               << expect_next;
+            error("R3.coverage", &rec, rec.firstTask,
+                  noc::kInvalidNode, os.str());
+            tiling_broken = true;
+            break;
+        }
+        expect_next += rec.taskCount;
+
+        // ---- Independently re-resolve the instance's operands.
+        const auto stmt_idx = static_cast<std::size_t>(
+            rec.statementIndex);
+        if (rec.statementIndex < 0 || stmt_idx >= nest.body().size() ||
+            rec.iterationNumber < 0 ||
+            rec.iterationNumber >= nest.iterationCount()) {
+            error("R3.coverage", &rec, rec.firstTask,
+                  noc::kInvalidNode,
+                  "record references a statement/iteration outside "
+                  "the nest");
+            tiling_broken = true;
+            break;
+        }
+        const ir::Statement &stmt = nest.body()[stmt_idx];
+        ir::StatementInstance inst;
+        inst.stmt = &stmt;
+        inst.iter = nest.iterationAt(rec.iterationNumber);
+        inst.iterationNumber = rec.iterationNumber;
+        const ir::ResolvedRef write = ir::resolveWrite(inst, *arrays_);
+        ir::resolveReadsInto(inst, *arrays_, reads);
+
+        const sim::InstanceStats &istats = plan.instances[i];
+        if (istats.statementIndex != rec.statementIndex ||
+            istats.iterationNumber != rec.iterationNumber) {
+            error("R3.coverage", &rec, rec.firstTask, noc::kInvalidNode,
+                  "plan instance stats and provenance disagree about "
+                  "the originating statement instance");
+        }
+        if (istats.dataMovement != rec.claimedMovement) {
+            error("R2.instance-mismatch", &rec, rec.firstTask,
+                  noc::kInvalidNode,
+                  describeInt("instance dataMovement",
+                              istats.dataMovement,
+                              rec.claimedMovement));
+        }
+        if (istats.defaultDataMovement != rec.defaultMovement) {
+            error("R2.instance-mismatch", &rec, rec.firstTask,
+                  noc::kInvalidNode,
+                  describeInt("instance defaultDataMovement",
+                              istats.defaultDataMovement,
+                              rec.defaultMovement));
+        }
+
+        // The split root stores at the write's home; re-homing under
+        // faults guarantees the home is live.
+        const noc::NodeId home = amap.homeBankNode(write.addr);
+        if (rec.storeNode != home) {
+            std::ostringstream os;
+            os << "store node " << rec.storeNode
+               << " is not the write's home bank node " << home;
+            error("R3.root-write", &rec, rec.rootTask, rec.storeNode,
+                  os.str());
+        }
+        if (!live(rec.storeNode)) {
+            std::ostringstream os;
+            os << "store node " << rec.storeNode << " is dead (epoch "
+               << mesh.faults().signature() << ")";
+            error("R5.store-on-dead", &rec, rec.rootTask,
+                  rec.storeNode, os.str());
+        }
+
+        const std::int64_t seq = static_cast<std::int64_t>(i);
+
+        if (!rec.wasSplit) {
+            // ================= Unsplit instance =================
+            if (rec.taskCount != 1) {
+                error("R3.coverage", &rec, rec.firstTask,
+                      noc::kInvalidNode,
+                      describeInt("unsplit instance task count",
+                                  rec.taskCount, 1));
+                continue;
+            }
+            const sim::Task &task =
+                plan.tasks[static_cast<std::size_t>(rec.firstTask)];
+            if (task.node != rec.defaultNode) {
+                std::ostringstream os;
+                os << "unsplit task sits on node " << task.node
+                   << ", not its default node " << rec.defaultNode;
+                error("R3.bad-node", &rec, task.id, task.node,
+                      os.str());
+            }
+            if (!live(task.node)) {
+                std::ostringstream os;
+                os << "task on dead node " << task.node << " (epoch "
+                   << mesh.faults().signature() << ": "
+                   << mesh.faults().describe() << ")";
+                error("R5.task-on-dead", &rec, task.id, task.node,
+                      os.str());
+            }
+            if (!task.write || task.write->addr != write.addr) {
+                error("R3.root-write", &rec, task.id, task.node,
+                      "unsplit task does not store the statement's "
+                      "resolved write address");
+            }
+            if (rec.claimedMovement != rec.defaultMovement) {
+                error("R2.cost-mismatch", &rec, task.id, task.node,
+                      describeInt(
+                          "unsplit instance claimed movement",
+                          rec.claimedMovement, rec.defaultMovement));
+            }
+            if (istats.degreeOfParallelism != 1) {
+                error("R2.instance-mismatch", &rec, task.id, task.node,
+                      describeInt("unsplit degree of parallelism",
+                                  istats.degreeOfParallelism, 1));
+            }
+            check_deps(rec, task);
+            // Skip dead nodes: the planner never committed load there,
+            // and R5.task-on-dead already flagged the record.
+            if (replay_balancer && live(rec.defaultNode))
+                replay_balancer->add(rec.defaultNode, task.computeCost);
+            if (full) {
+                for (const ir::ResolvedRef &r : reads)
+                    check_raw(rec, task.id, r.addr, false);
+                check_waw(rec, task.id, write.addr);
+                st.lastWriter[write.addr] = task.id;
+                st.writeSeq[write.addr] = seq;
+                if (prov.exploitReuse) {
+                    for (const ir::ResolvedRef &r : reads)
+                        st.recordCopy(r.addr, rec.defaultNode, seq);
+                    st.recordCopy(write.addr, rec.defaultNode, seq);
+                }
+            }
+            continue;
+        }
+
+        // ================== Split instance ==================
+        const SplitResult &split = rec.split;
+        if (rec.locations.size() != reads.size() ||
+            static_cast<std::size_t>(rec.taskCount) !=
+                split.subs.size() ||
+            split.root < 0 ||
+            static_cast<std::size_t>(split.root) >= split.subs.size() ||
+            rec.rootTask != rec.firstTask + split.root) {
+            error("R3.coverage", &rec, rec.firstTask, noc::kInvalidNode,
+                  "split record shape (locations/subs/root) does not "
+                  "match the resolved statement");
+            continue;
+        }
+
+        // ---- R4/R5: operand locations.
+        for (std::size_t j = 0; j < rec.locations.size(); ++j) {
+            const Location &loc = rec.locations[j];
+            const ir::ResolvedRef &r = reads[j];
+            if (loc.node < 0 || loc.node >= mesh.nodeCount()) {
+                std::ostringstream os;
+                os << "operand " << j << " located at invalid node "
+                   << loc.node;
+                error("R4.home-mismatch", &rec, rec.firstTask,
+                      loc.node, os.str());
+                continue;
+            }
+            if (!live(loc.node)) {
+                std::ostringstream os;
+                os << "operand " << j << " located on dead node "
+                   << loc.node << " (epoch "
+                   << mesh.faults().signature() << ")";
+                error("R5.reuse-on-dead", &rec, rec.firstTask,
+                      loc.node, os.str());
+            }
+            if (loc.source != LocationSource::L1Copy) {
+                const noc::NodeId opd_home = amap.homeBankNode(r.addr);
+                if (loc.node != opd_home) {
+                    std::ostringstream os;
+                    os << "operand " << j << " located at node "
+                       << loc.node << " but its re-homed bank is node "
+                       << opd_home;
+                    error("R4.home-mismatch", &rec, rec.firstTask,
+                          loc.node, os.str());
+                }
+            } else if (full && prov.exploitReuse && !prov.oracle) {
+                const std::vector<noc::NodeId> &copies =
+                    st.vmap.nodesFor(r.addr);
+                if (std::find(copies.begin(), copies.end(),
+                              loc.node) == copies.end()) {
+                    std::ostringstream os;
+                    os << "operand " << j << " claims an L1 copy at "
+                          "node "
+                       << loc.node
+                       << " that no earlier fetch in the window "
+                          "produced";
+                    error("R4.reuse-unfetched", &rec, rec.firstTask,
+                          loc.node, os.str());
+                } else {
+                    // The deterministic GetNode pick: nearest copy to
+                    // the store, lowest node id on ties.
+                    noc::NodeId pick = copies.front();
+                    std::int32_t best =
+                        mesh.distance(pick, rec.storeNode);
+                    for (noc::NodeId n : copies) {
+                        const std::int32_t d =
+                            mesh.distance(n, rec.storeNode);
+                        if (d < best || (d == best && n < pick)) {
+                            best = d;
+                            pick = n;
+                        }
+                    }
+                    if (pick != loc.node) {
+                        std::ostringstream os;
+                        os << "operand " << j << " reuses node "
+                           << loc.node
+                           << " but the deterministic nearest copy is "
+                              "node "
+                           << pick;
+                        error("R4.reuse-pick", &rec, rec.firstTask,
+                              loc.node, os.str());
+                    }
+                }
+            }
+        }
+
+        // ---- R1: MST edges price real distances and span the
+        // operands; flat statements check the exact tree shape.
+        NodeDsu dsu(mesh.nodeCount());
+        bool cycle = false;
+        for (const partition::MstEdge &edge : split.edges) {
+            if (edge.a < 0 || edge.a >= mesh.nodeCount() ||
+                edge.b < 0 || edge.b >= mesh.nodeCount()) {
+                std::ostringstream os;
+                os << "MST edge (" << edge.a << ", " << edge.b
+                   << ") leaves the mesh";
+                error("R1.edge-weight", &rec, rec.firstTask,
+                      noc::kInvalidNode, os.str());
+                continue;
+            }
+            const std::int32_t want = mesh.distance(edge.a, edge.b);
+            if (edge.weight != want) {
+                std::ostringstream os;
+                if (faulted &&
+                    edge.weight ==
+                        mesh.distanceUncached(edge.a, edge.b) &&
+                    edge.weight < want) {
+                    os << "MST edge (" << edge.a << ", " << edge.b
+                       << ") priced at the healthy distance "
+                       << edge.weight << "; the detour costs " << want;
+                    error("R5.detour-unpriced", &rec, rec.firstTask,
+                          edge.a, os.str());
+                } else {
+                    os << "MST edge (" << edge.a << ", " << edge.b
+                       << ") has weight " << edge.weight
+                       << ", distance is " << want;
+                    error("R1.edge-weight", &rec, rec.firstTask,
+                          edge.a, os.str());
+                }
+            }
+            if (!dsu.unite(edge.a, edge.b))
+                cycle = true;
+        }
+        std::vector<noc::NodeId> vertices = {rec.storeNode};
+        const std::size_t rhs_reads =
+            std::min(stmt.rhsReadCount(), rec.locations.size());
+        for (std::size_t j = 0; j < rhs_reads; ++j) {
+            const noc::NodeId n = rec.locations[j].node;
+            if (n >= 0 && n < mesh.nodeCount() &&
+                std::find(vertices.begin(), vertices.end(), n) ==
+                    vertices.end())
+                vertices.push_back(n);
+        }
+        for (noc::NodeId v : vertices) {
+            if (dsu.find(v) != dsu.find(rec.storeNode)) {
+                std::ostringstream os;
+                os << "operand node " << v
+                   << " is not connected to store node "
+                   << rec.storeNode << " by the MST edges";
+                error("R1.not-spanning", &rec, rec.firstTask, v,
+                      os.str());
+            }
+        }
+        if (static_sets[stmt_idx].depth() == 1) {
+            // One Kruskal level: the edge list is one exact spanning
+            // tree over the distinct operand nodes plus the store.
+            if (split.edges.size() != vertices.size() - 1) {
+                error("R1.edge-count", &rec, rec.firstTask,
+                      noc::kInvalidNode,
+                      describeInt(
+                          "MST edge count",
+                          static_cast<std::int64_t>(
+                              split.edges.size()),
+                          static_cast<std::int64_t>(vertices.size()) -
+                              1));
+            }
+            if (cycle) {
+                error("R1.cycle", &rec, rec.firstTask,
+                      noc::kInvalidNode,
+                      "MST edge list contains a cycle");
+            }
+        }
+
+        // ---- R2/R6: independent reference recomputation.
+        const ir::VarSet &sets = static_sets[stmt_idx];
+        if (full) {
+            SplitResult ref;
+            if (replay_balancer) {
+                // The planner split against a trial copy and committed
+                // it iff the split was kept; split records only exist
+                // for kept splits, so replay commits unconditionally.
+                partition::LoadBalancer trial = *replay_balancer;
+                ref = ref_splitter.split(sets, rec.locations,
+                                         rec.storeNode, &trial);
+                *replay_balancer = std::move(trial);
+            } else {
+                ref = ref_splitter.split(sets, rec.locations,
+                                         rec.storeNode, nullptr);
+            }
+            if (rec.fromCache) {
+                if (!sameExact(split, ref)) {
+                    error("R6.replay-divergence", &rec, rec.firstTask,
+                          noc::kInvalidNode,
+                          "cached split is not bit-identical to the "
+                          "fresh reference split");
+                }
+            } else if (!sameStructure(split, ref)) {
+                error("R2.split-mismatch", &rec, rec.firstTask,
+                      noc::kInvalidNode,
+                      "split structure diverges from the reference "
+                      "recomputation on the recorded inputs");
+            } else if (!sameExact(split, ref)) {
+                error("R2.split-mismatch", &rec, rec.firstTask,
+                      noc::kInvalidNode,
+                      describeInt("split placement/movement diverges "
+                                  "from the reference recomputation: "
+                                  "movement",
+                                  split.plannedMovement,
+                                  ref.plannedMovement));
+            }
+            if (!prov.loadBalanced) {
+                // Equation 1 upper bound: an MST split never moves
+                // more data than fetching every operand line straight
+                // to the store node (slides may exceed it, so gate on
+                // balancer-free plans).
+                std::int64_t naive = 0;
+                for (std::size_t j = 0; j < rhs_reads; ++j)
+                    naive += line_flits *
+                             mesh.distance(rec.locations[j].node,
+                                           rec.storeNode);
+                if (split.plannedMovement > naive) {
+                    diag("R2.naive-bound", Severity::Warning, &rec,
+                         rec.firstTask, noc::kInvalidNode,
+                         describeInt("split movement exceeds the "
+                                     "naive all-to-store cost:",
+                                     split.plannedMovement, naive));
+                }
+            }
+        }
+        if (rec.claimedMovement != split.plannedMovement) {
+            error("R2.cost-mismatch", &rec, rec.firstTask,
+                  noc::kInvalidNode,
+                  describeInt("claimed movement", rec.claimedMovement,
+                              split.plannedMovement));
+        }
+        if (rec.claimedMovement >= rec.defaultMovement) {
+            error("R2.not-profitable", &rec, rec.firstTask,
+                  noc::kInvalidNode,
+                  describeInt("kept split's movement must beat the "
+                              "default placement's",
+                              rec.claimedMovement,
+                              rec.defaultMovement - 1));
+        }
+        if (istats.degreeOfParallelism != split.degreeOfParallelism) {
+            error("R2.instance-mismatch", &rec, rec.firstTask,
+                  noc::kInvalidNode,
+                  describeInt("instance degree of parallelism",
+                              istats.degreeOfParallelism,
+                              split.degreeOfParallelism));
+        }
+
+        // ---- R3: the emitted tasks mirror the subcomputations.
+        std::vector<std::int32_t> child_refs(split.subs.size(), 0);
+        bool one_root = false;
+        for (std::size_t s = 0; s < split.subs.size(); ++s) {
+            const Subcomputation &sub = split.subs[s];
+            const sim::TaskId tid =
+                rec.firstTask + static_cast<sim::TaskId>(s);
+            const sim::Task &task =
+                plan.tasks[static_cast<std::size_t>(tid)];
+            if (task.node != sub.node) {
+                std::ostringstream os;
+                os << "task sits on node " << task.node
+                   << ", subcomputation was placed on node "
+                   << sub.node;
+                error("R3.bad-node", &rec, tid, task.node, os.str());
+            }
+            if (!live(task.node)) {
+                std::ostringstream os;
+                os << "task on dead node " << task.node << " (epoch "
+                   << mesh.faults().signature() << ": "
+                   << mesh.faults().describe() << ")";
+                error("R5.task-on-dead", &rec, tid, task.node,
+                      os.str());
+            }
+            if (task.statementIndex != rec.statementIndex ||
+                task.iterationNumber != rec.iterationNumber) {
+                error("R3.coverage", &rec, tid, task.node,
+                      "task is attributed to a different statement "
+                      "instance than its provenance record");
+            }
+            // Leaves-to-store: every child's result must arrive (the
+            // merge is a sync point for each of its >= 1 children).
+            for (int child : sub.children) {
+                if (child < 0 || static_cast<std::size_t>(child) >= s) {
+                    error("R3.coverage", &rec, tid, task.node,
+                          "subcomputation child does not precede its "
+                          "parent");
+                    continue;
+                }
+                child_refs[static_cast<std::size_t>(child)] += 1;
+                const sim::TaskId child_tid =
+                    rec.firstTask + static_cast<sim::TaskId>(child);
+                if (std::find(task.deps.begin(), task.deps.end(),
+                              child_tid) == task.deps.end()) {
+                    std::ostringstream os;
+                    os << "merge task does not wait on child task "
+                       << child_tid;
+                    error("R3.sync-missing", &rec, tid, task.node,
+                          os.str());
+                }
+            }
+            if (sub.isRoot) {
+                if (one_root) {
+                    error("R3.root-write", &rec, tid, task.node,
+                          "more than one root subcomputation");
+                }
+                one_root = true;
+                if (static_cast<int>(s) != split.root) {
+                    error("R3.root-write", &rec, tid, task.node,
+                          "root index does not name the root "
+                          "subcomputation");
+                }
+                if (!task.write || task.write->addr != write.addr) {
+                    error("R3.root-write", &rec, tid, task.node,
+                          "root task does not store the statement's "
+                          "resolved write address");
+                }
+            } else if (task.write) {
+                error("R3.root-write", &rec, tid, task.node,
+                      "non-root subcomputation stores");
+            }
+            check_deps(rec, task);
+        }
+        if (!one_root) {
+            error("R3.root-write", &rec, rec.rootTask, rec.storeNode,
+                  "no subcomputation holds the final store");
+        }
+        for (std::size_t s = 0; s < split.subs.size(); ++s) {
+            const bool is_root = static_cast<int>(s) == split.root;
+            if (!is_root && child_refs[s] == 0) {
+                error("R3.unreachable-root", &rec,
+                      rec.firstTask + static_cast<sim::TaskId>(s),
+                      split.subs[s].node,
+                      "subcomputation's result never reaches the "
+                      "store");
+            }
+            if (child_refs[s] > (is_root ? 0 : 1)) {
+                error("R3.edge-reuse", &rec,
+                      rec.firstTask + static_cast<sim::TaskId>(s),
+                      split.subs[s].node,
+                      is_root
+                          ? "the root is consumed as a child"
+                          : "subcomputation consumed by more than one "
+                            "merge (an edge traversed twice)");
+            }
+        }
+
+        // ---- Full: conflict replay + window-state replay.
+        if (full) {
+            for (std::size_t s = 0; s < split.subs.size(); ++s) {
+                const Subcomputation &sub = split.subs[s];
+                const sim::TaskId tid =
+                    rec.firstTask + static_cast<sim::TaskId>(s);
+                for (int leaf : sub.leaves) {
+                    if (leaf < 0 || static_cast<std::size_t>(leaf) >=
+                                        reads.size())
+                        continue;
+                    const auto lidx = static_cast<std::size_t>(leaf);
+                    const mem::Addr addr = reads[lidx].addr;
+                    const bool via_stale_copy =
+                        rec.locations[lidx].source ==
+                            LocationSource::L1Copy &&
+                        [&] {
+                            const auto wit = st.writeSeq.find(addr);
+                            if (wit == st.writeSeq.end())
+                                return false;
+                            const std::int64_t copied =
+                                st.copyRecordedAt(
+                                    addr, rec.locations[lidx].node);
+                            return copied >= 0 &&
+                                   copied < wit->second;
+                        }();
+                    check_raw(rec, tid, addr, via_stale_copy);
+                }
+            }
+            const sim::TaskId root_tid = rec.rootTask;
+            for (std::size_t g = stmt.rhsReadCount();
+                 g < reads.size(); ++g)
+                check_raw(rec, root_tid, reads[g].addr, false);
+            check_waw(rec, root_tid, write.addr);
+            st.lastWriter[write.addr] = root_tid;
+            st.writeSeq[write.addr] = seq;
+            if (prov.exploitReuse) {
+                for (std::size_t s = 0; s < split.subs.size(); ++s) {
+                    for (int leaf : split.subs[s].leaves) {
+                        if (leaf >= 0 &&
+                            static_cast<std::size_t>(leaf) <
+                                reads.size())
+                            st.recordCopy(
+                                reads[static_cast<std::size_t>(leaf)]
+                                    .addr,
+                                split.subs[s].node, seq);
+                    }
+                }
+                st.recordCopy(write.addr, rec.storeNode, seq);
+            }
+        }
+    }
+
+    if (!tiling_broken &&
+        static_cast<std::size_t>(expect_next) != plan.tasks.size()) {
+        Diagnostic d;
+        d.rule = "R3.coverage";
+        d.severity = Severity::Error;
+        d.message = describeInt(
+            "provenance covers tasks", expect_next,
+            static_cast<std::int64_t>(plan.tasks.size()));
+        rep.add(std::move(d));
+    }
+    return rep;
+}
+
+} // namespace ndp::verify

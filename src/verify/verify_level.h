@@ -1,0 +1,78 @@
+#ifndef NDP_VERIFY_VERIFY_LEVEL_H
+#define NDP_VERIFY_VERIFY_LEVEL_H
+
+/**
+ * @file
+ * The static plan-verification effort knob. `Off` records nothing and
+ * costs nothing; `Cheap` runs the structural rule subset (edge
+ * weights, spanning, schedule shape, liveness) straight off the
+ * recorded provenance; `Full` additionally replays the reference
+ * splitter, the variable2node window state, and the cross-instance
+ * conflict analysis — an independent recomputation of everything the
+ * planner claimed (translation validation for partition plans).
+ *
+ * Surfaced process-wide as the NDP_VERIFY environment variable
+ * ("off" | "cheap" | "full", default off) so every harness, test, and
+ * campaign can be re-run under verification without per-call wiring,
+ * and per-run as bench_common's --verify flag.
+ */
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ndp::verify {
+
+enum class VerifyLevel
+{
+    Off,
+    Cheap,
+    Full,
+};
+
+inline const char *
+toString(VerifyLevel level)
+{
+    switch (level) {
+    case VerifyLevel::Off:
+        return "off";
+    case VerifyLevel::Cheap:
+        return "cheap";
+    case VerifyLevel::Full:
+        return "full";
+    }
+    return "off";
+}
+
+/** Parse "off" / "cheap" / "full" into @p out; false on anything else. */
+inline bool
+parseVerifyLevel(const char *text, VerifyLevel &out)
+{
+    if (text == nullptr)
+        return false;
+    if (std::strcmp(text, "off") == 0) {
+        out = VerifyLevel::Off;
+        return true;
+    }
+    if (std::strcmp(text, "cheap") == 0) {
+        out = VerifyLevel::Cheap;
+        return true;
+    }
+    if (std::strcmp(text, "full") == 0) {
+        out = VerifyLevel::Full;
+        return true;
+    }
+    return false;
+}
+
+/** The NDP_VERIFY environment knob; unset or unparsable means Off. */
+inline VerifyLevel
+verifyLevelFromEnv()
+{
+    VerifyLevel level = VerifyLevel::Off;
+    parseVerifyLevel(std::getenv("NDP_VERIFY"), level);
+    return level;
+}
+
+} // namespace ndp::verify
+
+#endif // NDP_VERIFY_VERIFY_LEVEL_H

@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Mutation tests for verify::PlanVerifier: plan each corruption as a
+ * healthy baseline, apply exactly one targeted mutation to the plan
+ * or its provenance, and assert the verifier reports the intended
+ * rule. Together with verify_property_test (healthy plans verify
+ * clean), this pins both directions: no false negatives on the
+ * corruptions below, no false positives on real planner output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "baseline/default_placement.h"
+#include "ir/parser.h"
+#include "partition/partitioner.h"
+#include "verify/plan_verifier.h"
+
+namespace {
+
+using namespace ndp;
+using namespace ndp::partition;
+
+/** A plan plus a mutable copy of everything the verifier consumes. */
+struct BuiltPlan
+{
+    sim::ExecutionPlan plan;
+    verify::PlanProvenance prov;
+};
+
+bool
+hasRule(const verify::Report &report, const std::string &rule)
+{
+    for (const verify::Diagnostic &d : report.diagnostics()) {
+        if (d.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+bool
+hasRulePrefix(const verify::Report &report, const std::string &prefix)
+{
+    for (const verify::Diagnostic &d : report.diagnostics()) {
+        if (d.rule.rfind(prefix, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+std::string
+rulesOf(const verify::Report &report)
+{
+    std::string all;
+    for (const verify::Diagnostic &d : report.diagnostics())
+        all += d.rule + " ";
+    return all;
+}
+
+class PlanMutationTest : public ::testing::Test
+{
+  protected:
+    PlanMutationTest()
+        : system(config)
+    {
+    }
+
+    /** The workhorse nest: 4-operand splits plus an S1 -> S2 flow
+     *  dependence, enough to exercise every rule family. */
+    ir::LoopNest
+    parseDefault()
+    {
+        return ir::parseKernel(R"(
+            array A[256] bytes 64; array B[256] bytes 64;
+            array C[256] bytes 64; array D[256] bytes 64;
+            array E[256] bytes 64;
+            for i = 0..256 {
+              S1: D[i] = B[i] + C[i] + E[i] + A[i];
+              S2: A[i] = D[i] * E[i] + B[i];
+            })",
+                               "mutation", arrays);
+    }
+
+    BuiltPlan
+    build(const ir::LoopNest &nest, PartitionOptions opts)
+    {
+        opts.verifyLevel = verify::VerifyLevel::Full;
+        baseline::DefaultPlacement placement(system, arrays);
+        Partitioner partitioner(system, arrays, opts);
+        BuiltPlan built;
+        built.plan =
+            partitioner.plan(nest, placement.assignIterations(nest));
+        const auto &prov = partitioner.report().provenance;
+        EXPECT_NE(prov, nullptr);
+        built.prov = *prov;
+        return built;
+    }
+
+    verify::Report
+    verify(const ir::LoopNest &nest, const BuiltPlan &built)
+    {
+        const verify::PlanVerifier verifier(system, arrays);
+        return verifier.verify(nest, built.plan, built.prov);
+    }
+
+    /** Index of the first record matching @p pred; -1 when none. */
+    template <typename Pred>
+    std::ptrdiff_t
+    findRecord(const BuiltPlan &built, Pred pred)
+    {
+        for (std::size_t i = 0; i < built.prov.instances.size(); ++i) {
+            if (pred(built.prov.instances[i]))
+                return static_cast<std::ptrdiff_t>(i);
+        }
+        return -1;
+    }
+
+    std::ptrdiff_t
+    findSplit(const BuiltPlan &built)
+    {
+        return findRecord(built, [](const verify::SplitRecord &r) {
+            return r.wasSplit && !r.split.edges.empty();
+        });
+    }
+
+    sim::ManycoreConfig config;
+    sim::ManycoreSystem system;
+    ir::ArrayTable arrays;
+};
+
+TEST_F(PlanMutationTest, HealthyBaselineVerifiesClean)
+{
+    const ir::LoopNest nest = parseDefault();
+    const BuiltPlan built = build(nest, {});
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(report.clean()) << report.renderTable();
+    EXPECT_GT(report.counts().plansVerified, 0);
+}
+
+// ---------------------------------------------------------------- R1
+
+TEST_F(PlanMutationTest, DroppedMstEdgeIsNotSpanning)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    const std::ptrdiff_t at = findSplit(built);
+    ASSERT_GE(at, 0) << "nest produced no split instance";
+    built.prov.instances[static_cast<std::size_t>(at)]
+        .split.edges.pop_back();
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R1.not-spanning")) << rulesOf(report);
+}
+
+TEST_F(PlanMutationTest, CorruptedEdgeWeightIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    const std::ptrdiff_t at = findSplit(built);
+    ASSERT_GE(at, 0);
+    built.prov.instances[static_cast<std::size_t>(at)]
+        .split.edges.front()
+        .weight += 1;
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R1.edge-weight")) << rulesOf(report);
+}
+
+// ---------------------------------------------------------------- R2
+
+TEST_F(PlanMutationTest, InflatedClaimedMovementIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    const std::ptrdiff_t at = findSplit(built);
+    ASSERT_GE(at, 0);
+    built.prov.instances[static_cast<std::size_t>(at)]
+        .claimedMovement += 5;
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R2.cost-mismatch")) << rulesOf(report);
+}
+
+TEST_F(PlanMutationTest, StructuralDivergenceFromReferenceIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    const std::ptrdiff_t at = findSplit(built);
+    ASSERT_GE(at, 0);
+    built.prov.instances[static_cast<std::size_t>(at)]
+        .split.subs.front()
+        .opCost += 3;
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R2.split-mismatch")) << rulesOf(report);
+}
+
+TEST_F(PlanMutationTest, UnprofitableKeptSplitIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    const std::ptrdiff_t at = findSplit(built);
+    ASSERT_GE(at, 0);
+    verify::SplitRecord &rec =
+        built.prov.instances[static_cast<std::size_t>(at)];
+    rec.defaultMovement = rec.claimedMovement; // claims no saving
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R2.not-profitable")) << rulesOf(report);
+}
+
+// ---------------------------------------------------------------- R3
+
+TEST_F(PlanMutationTest, RemovedChildDependenceIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    const std::ptrdiff_t at =
+        findRecord(built, [](const verify::SplitRecord &r) {
+            if (!r.wasSplit)
+                return false;
+            for (const Subcomputation &sub : r.split.subs) {
+                if (!sub.children.empty())
+                    return true;
+            }
+            return false;
+        });
+    ASSERT_GE(at, 0) << "no split with a merge subcomputation";
+    const verify::SplitRecord &rec =
+        built.prov.instances[static_cast<std::size_t>(at)];
+    for (std::size_t s = 0; s < rec.split.subs.size(); ++s) {
+        if (rec.split.subs[s].children.empty())
+            continue;
+        sim::Task &parent =
+            built.plan.tasks[static_cast<std::size_t>(rec.firstTask) + s];
+        ASSERT_FALSE(parent.deps.empty());
+        parent.deps.erase(parent.deps.begin());
+        break;
+    }
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R3.sync-missing")) << rulesOf(report);
+}
+
+TEST_F(PlanMutationTest, SelfDependenceIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    sim::Task &task = built.plan.tasks.front();
+    task.deps.push_back(task.id);
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R3.dep-order")) << rulesOf(report);
+}
+
+TEST_F(PlanMutationTest, MissingRootWriteIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    const verify::SplitRecord &rec = built.prov.instances.front();
+    built.plan.tasks[static_cast<std::size_t>(rec.rootTask)]
+        .write.reset();
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R3.root-write")) << rulesOf(report);
+}
+
+TEST_F(PlanMutationTest, DroppedFlowDependenceIsARace)
+{
+    // All-unsplit plan (prohibitive split overhead): S2 reads the D[i]
+    // S1 wrote, so dropping S2's dependences leaves a cross-task race.
+    const ir::LoopNest nest = parseDefault();
+    PartitionOptions opts;
+    opts.overheadSafetyFactor = 1e9;
+    BuiltPlan built = build(nest, opts);
+    const std::ptrdiff_t at =
+        findRecord(built, [](const verify::SplitRecord &r) {
+            return !r.wasSplit && r.statementIndex == 1;
+        });
+    ASSERT_GE(at, 0);
+    const verify::SplitRecord &rec =
+        built.prov.instances[static_cast<std::size_t>(at)];
+    sim::Task &reader =
+        built.plan.tasks[static_cast<std::size_t>(rec.firstTask)];
+    ASSERT_FALSE(reader.deps.empty())
+        << "S2 should depend on S1's write";
+    reader.deps.clear();
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R3.conflict-unordered"))
+        << rulesOf(report);
+}
+
+TEST_F(PlanMutationTest, BrokenTaskTilingIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    built.prov.instances.front().taskCount += 1;
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R3.coverage")) << rulesOf(report);
+}
+
+// ---------------------------------------------------------------- R4
+
+TEST_F(PlanMutationTest, RehomedOperandLocationIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    const std::ptrdiff_t at =
+        findRecord(built, [](const verify::SplitRecord &r) {
+            if (!r.wasSplit)
+                return false;
+            for (const Location &loc : r.locations) {
+                if (loc.source != LocationSource::L1Copy)
+                    return true;
+            }
+            return false;
+        });
+    ASSERT_GE(at, 0);
+    verify::SplitRecord &rec =
+        built.prov.instances[static_cast<std::size_t>(at)];
+    for (Location &loc : rec.locations) {
+        if (loc.source != LocationSource::L1Copy) {
+            loc.node = (loc.node + 1) % system.mesh().nodeCount();
+            break;
+        }
+    }
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R4.home-mismatch")) << rulesOf(report);
+}
+
+TEST_F(PlanMutationTest, RehomedReuseCopyIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    const std::ptrdiff_t at =
+        findRecord(built, [](const verify::SplitRecord &r) {
+            if (!r.wasSplit)
+                return false;
+            for (const Location &loc : r.locations) {
+                if (loc.source == LocationSource::L1Copy)
+                    return true;
+            }
+            return false;
+        });
+    ASSERT_GE(at, 0) << "nest planned no L1-copy reuse";
+    verify::SplitRecord &rec =
+        built.prov.instances[static_cast<std::size_t>(at)];
+    for (Location &loc : rec.locations) {
+        if (loc.source == LocationSource::L1Copy) {
+            loc.node = (loc.node + 1) % system.mesh().nodeCount();
+            break;
+        }
+    }
+    const verify::Report report = verify(nest, built);
+    // Depending on where the line also lives, the mutation is either a
+    // fetch the window never planned or a non-minimal copy pick.
+    EXPECT_TRUE(hasRulePrefix(report, "R4.reuse")) << rulesOf(report);
+}
+
+// ---------------------------------------------------------------- R5
+
+TEST_F(PlanMutationTest, FaultEpochMismatchIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    BuiltPlan built = build(nest, {});
+    built.prov.faultEpoch += 1;
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R5.epoch-mismatch")) << rulesOf(report);
+}
+
+class PlanMutationFaultTest : public ::testing::Test
+{
+  protected:
+    PlanMutationFaultTest()
+    {
+        config.faults.killNode(deadNode);
+        system = std::make_unique<sim::ManycoreSystem>(config);
+    }
+
+    static constexpr noc::NodeId deadNode = 8; // interior, non-corner
+
+    sim::ManycoreConfig config;
+    std::unique_ptr<sim::ManycoreSystem> system;
+    ir::ArrayTable arrays;
+};
+
+TEST_F(PlanMutationFaultTest, TaskMovedToDeadNodeIsCaught)
+{
+    const ir::LoopNest nest = ir::parseKernel(R"(
+        array A[256] bytes 64; array B[256] bytes 64;
+        array C[256] bytes 64; array D[256] bytes 64;
+        for i = 0..256 { A[i] = B[i] + C[i] + D[i]; })",
+                                              "faulted", arrays);
+    PartitionOptions opts;
+    opts.verifyLevel = verify::VerifyLevel::Full;
+    baseline::DefaultPlacement placement(*system, arrays);
+    Partitioner partitioner(*system, arrays, opts);
+    BuiltPlan built;
+    built.plan =
+        partitioner.plan(nest, placement.assignIterations(nest));
+    ASSERT_NE(partitioner.report().provenance, nullptr);
+    built.prov = *partitioner.report().provenance;
+
+    const verify::PlanVerifier verifier(*system, arrays);
+    ASSERT_TRUE(verifier.verify(nest, built.plan, built.prov).clean());
+
+    // Move one task onto the dead tile (record and task together, so
+    // the scheduler-mirror checks stay silent and the liveness rule is
+    // the one that objects).
+    bool moved = false;
+    for (verify::SplitRecord &rec : built.prov.instances) {
+        if (!rec.wasSplit) {
+            rec.defaultNode = deadNode;
+            built.plan.tasks[static_cast<std::size_t>(rec.firstTask)]
+                .node = deadNode;
+            moved = true;
+            break;
+        }
+    }
+    if (!moved) {
+        for (verify::SplitRecord &rec : built.prov.instances) {
+            if (rec.wasSplit) {
+                rec.split.subs.front().node = deadNode;
+                built.plan
+                    .tasks[static_cast<std::size_t>(rec.firstTask)]
+                    .node = deadNode;
+                moved = true;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(moved);
+    const verify::Report report =
+        verifier.verify(nest, built.plan, built.prov);
+    EXPECT_TRUE(hasRule(report, "R5.task-on-dead")) << rulesOf(report);
+}
+
+TEST_F(PlanMutationFaultTest, OperandLocatedOnDeadNodeIsCaught)
+{
+    const ir::LoopNest nest = ir::parseKernel(R"(
+        array A[256] bytes 64; array B[256] bytes 64;
+        array C[256] bytes 64; array D[256] bytes 64;
+        array E[256] bytes 64;
+        for i = 0..256 { A[i] = B[i] + C[i] + D[i] + E[i]; })",
+                                              "faulted2", arrays);
+    PartitionOptions opts;
+    opts.verifyLevel = verify::VerifyLevel::Full;
+    baseline::DefaultPlacement placement(*system, arrays);
+    Partitioner partitioner(*system, arrays, opts);
+    BuiltPlan built;
+    built.plan =
+        partitioner.plan(nest, placement.assignIterations(nest));
+    ASSERT_NE(partitioner.report().provenance, nullptr);
+    built.prov = *partitioner.report().provenance;
+
+    bool mutated = false;
+    for (verify::SplitRecord &rec : built.prov.instances) {
+        if (rec.wasSplit && !rec.locations.empty()) {
+            rec.locations.front().node = deadNode;
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    const verify::PlanVerifier verifier(*system, arrays);
+    const verify::Report report =
+        verifier.verify(nest, built.plan, built.prov);
+    EXPECT_TRUE(hasRule(report, "R5.reuse-on-dead")) << rulesOf(report);
+}
+
+// ---------------------------------------------------------------- R6
+
+TEST_F(PlanMutationTest, CorruptedCacheReplayIsCaught)
+{
+    const ir::LoopNest nest = parseDefault();
+    PartitionOptions opts;
+    opts.loadBalance = false; // the memoized path (cache hits require it)
+    opts.memoizeSplits = true;
+    BuiltPlan built = build(nest, opts);
+    const std::ptrdiff_t at =
+        findRecord(built, [](const verify::SplitRecord &r) {
+            return r.wasSplit && r.fromCache;
+        });
+    ASSERT_GE(at, 0) << "no split was served from the plan cache";
+    verify::SplitRecord &rec =
+        built.prov.instances[static_cast<std::size_t>(at)];
+    rec.split.plannedMovement += 1;
+    rec.claimedMovement += 1; // keep R2's claim check silent
+    const verify::Report report = verify(nest, built);
+    EXPECT_TRUE(hasRule(report, "R6.replay-divergence"))
+        << rulesOf(report);
+}
+
+} // namespace
